@@ -1,0 +1,54 @@
+"""Benchmark: CDRW against the related-work baselines on a Figure-3 workload.
+
+There is no numerical baseline table in the paper; this benchmark makes the
+related-work comparison concrete (Section II): CDRW's accuracy should be in
+the same league as the centralized methods (spectral, Walktrap) on a
+well-separated PPM instance, while the lightweight two-community protocols
+show their structural limits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import compare_baselines, render_experiment
+
+
+def test_baseline_comparison_two_blocks(once, capsys):
+    table = once(
+        compare_baselines,
+        n=1024,
+        num_blocks=2,
+        p_spec="2log2n/n",
+        q_spec="0.6/n",
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    scores = {str(row.parameters["method"]): row.measurements["f_score"] for row in table.rows}
+    assert scores["cdrw"] > 0.85
+    assert scores["spectral"] > 0.9
+    # CDRW is within striking distance of the centralized upper bound.
+    assert scores["cdrw"] > scores["spectral"] - 0.15
+
+
+def test_baseline_comparison_many_blocks(once, capsys):
+    """Four blocks: the two-community protocols (averaging, Clementi) cannot
+    represent the structure, while CDRW and spectral still can."""
+    table = once(
+        compare_baselines,
+        n=2048,
+        num_blocks=4,
+        p_spec="2log2n/n",
+        q_spec="0.1/n",
+        seed=1,
+        methods=("cdrw", "averaging_dynamics", "clementi", "spectral"),
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    scores = {str(row.parameters["method"]): row.measurements["f_score"] for row in table.rows}
+    assert scores["cdrw"] > 0.8
+    assert scores["cdrw"] > scores["averaging_dynamics"]
+    assert scores["cdrw"] > scores["clementi"]

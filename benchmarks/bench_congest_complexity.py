@@ -1,0 +1,36 @@
+"""Benchmark: Theorem 5/6 — CONGEST round and message complexity of CDRW.
+
+Paper's claim: detecting one community takes O(log^4 n) rounds and
+Õ((n²/r)(p + q(r−1))) messages.  The benchmark measures both on a sweep of
+graph sizes and checks that the measured/bound ratios stay bounded (i.e. the
+measured quantities grow no faster than the bounds).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import congest_scaling, render_experiment
+
+
+def test_congest_round_and_message_scaling(once, capsys):
+    table = once(
+        congest_scaling,
+        sizes=(128, 256, 512, 1024),
+        num_blocks=2,
+        p_spec="2log2n/n",
+        q_spec="0.6/n",
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    round_ratios = table.series("rounds_over_bound")
+    message_ratios = table.series("messages_over_bound")
+    # Polylogarithmic rounds: the measured/log^4 n ratio must not blow up as n
+    # grows (allow a 4x drift across an 8x size range for constants to settle).
+    assert round_ratios[-1] < 4 * max(round_ratios[0], 1.0)
+    # Message bound likewise.
+    assert message_ratios[-1] < 4 * max(message_ratios[0], 1.0)
+    # Rounds grow far slower than the graph size.
+    rounds = table.series("rounds")
+    assert rounds[-1] / rounds[0] < (1024 / 128) ** 1.5

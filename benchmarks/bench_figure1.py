@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Figure 1 PPM instance and report its structure.
+
+The paper's Figure 1 is a drawing of a PPM graph with n=1000, r=5, p=1/20,
+q=1/1000; the quantitative content reproduced here is the per-block
+intra/inter edge statistics and conductance of that instance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1_stats, render_experiment
+
+
+def test_figure1_ppm_structure(once, capsys):
+    table = once(figure1_stats, n=1000, num_blocks=5, p=1.0 / 20.0, q=1.0 / 1000.0, seed=0)
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+    # Sanity of the reproduced structure: every block is dominated by
+    # intra-community edges, as the figure illustrates.
+    for row in table.rows:
+        assert row.measurements["intra_edges"] > row.measurements["inter_edges"]

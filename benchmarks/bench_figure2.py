@@ -1,0 +1,34 @@
+"""Benchmark: Figure 2 — CDRW accuracy on G(n, p) random graphs.
+
+Paper's claim: the F-score increases with n, is essentially 1.0 for
+n >= 2^10, and increases with the density p.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure2_grid, render_experiment
+
+
+def test_figure2_gnp_accuracy(once, capsys):
+    table = once(
+        figure2_grid,
+        sizes=(128, 256, 512, 1024, 2048, 4096),
+        p_specs=("2logn/n", "2log2n/n"),
+        trials=2,
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    by_spec: dict[str, list[tuple[int, float]]] = {}
+    for row in table.rows:
+        by_spec.setdefault(str(row.parameters["p"]), []).append(
+            (int(row.parameters["n"]), row.measurements["f_score"])
+        )
+    for spec, series in by_spec.items():
+        series.sort()
+        # Large graphs are detected as a single community almost perfectly.
+        assert series[-1][1] > 0.95, f"{spec}: F-score at n=4096 should be ~1.0"
+        # Accuracy at the largest size is at least that at the smallest size.
+        assert series[-1][1] >= series[0][1] - 0.02

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 4a — accuracy vs number of communities, fixed community size.
+
+Paper's claim: increasing the number of communities r (with each community
+kept at 2^10 vertices, so n = r * 2^10) decreases the accuracy only slightly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure4a_grid, render_experiment
+
+
+def test_figure4a_fixed_community_size(once, capsys):
+    table = once(
+        figure4a_grid,
+        block_counts=(2, 4, 8),
+        community_size=1024,
+        ratio_specs=("1.2log2^2(n)", "0.2log2^2(n)"),
+        trials=2,
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    well_separated = {
+        int(row.parameters["r"]): row.measurements["f_score"]
+        for row in table.rows
+        if row.parameters["p_over_q"] == "1.2log2^2(n)"
+    }
+    # The well-separated curve stays accurate for every r and decreases only
+    # slightly with r, as in the paper.
+    assert all(score > 0.8 for score in well_separated.values())
+    assert well_separated[2] >= well_separated[8] - 0.05

@@ -1,0 +1,57 @@
+"""Benchmark: Figure 4b — accuracy vs number of communities, fixed total size.
+
+Paper's claim: with the total size fixed at n = 8 * 2^10, accuracy decreases
+slightly as r grows, and — comparing against Figure 4a at the same r — the
+accuracy is higher when the communities are bigger.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure4a_grid, figure4b_grid, render_experiment
+
+
+def test_figure4b_fixed_total_size(once, capsys):
+    table = once(
+        figure4b_grid,
+        block_counts=(2, 4, 8),
+        total_size=8 * 1024,
+        ratio_specs=("1.2log2^2(n)",),
+        trials=2,
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    scores = {int(row.parameters["r"]): row.measurements["f_score"] for row in table.rows}
+    assert all(score > 0.75 for score in scores.values())
+    assert scores[2] >= scores[8] - 0.05
+
+
+def test_figure4_community_size_effect(once, capsys):
+    """Paper: at equal r, larger communities (4a at r=8) score at least as well
+    as the same r with smaller communities (4b at r=8 has size 2^10 too, so
+    compare r=2: 4a has 2^10-vertex blocks in a 2^11 graph, 4b has 2^12-vertex
+    blocks in a 2^13 graph — the bigger-community setting should not be worse)."""
+    small_blocks = once(
+        figure4a_grid,
+        block_counts=(2,),
+        community_size=1024,
+        ratio_specs=("1.2log2^2(n)",),
+        trials=2,
+        seed=1,
+    )
+    big_blocks = figure4b_grid(
+        block_counts=(2,),
+        total_size=8 * 1024,
+        ratio_specs=("1.2log2^2(n)",),
+        trials=2,
+        seed=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(small_blocks))
+        print(render_experiment(big_blocks))
+    small_score = small_blocks.rows[0].measurements["f_score"]
+    big_score = big_blocks.rows[0].measurements["f_score"]
+    assert big_score >= small_score - 0.05

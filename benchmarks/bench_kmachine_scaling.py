@@ -1,0 +1,40 @@
+"""Benchmark: Section III-B — k-machine round complexity of CDRW.
+
+Paper's claim: simulating CDRW on k machines via the Conversion Theorem costs
+Õ((n²/k² + n/(kr))(p + q(r−1))) rounds — i.e. the round complexity improves
+between linearly (k^-1) and quadratically (k^-2) as machines are added.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import kmachine_scaling, render_experiment
+
+
+def test_kmachine_round_scaling(once, capsys):
+    table = once(
+        kmachine_scaling,
+        n=1024,
+        num_blocks=2,
+        p_spec="2log2n/n",
+        q_spec="0.6/n",
+        machine_counts=(2, 4, 8, 16, 32),
+        seed=0,
+    )
+    with capsys.disabled():
+        print()
+        print(render_experiment(table))
+
+    rounds = table.series("rounds")
+    machine_counts = [int(row.parameters["k"]) for row in table.rows]
+    # Monotone improvement with more machines.
+    assert all(a > b for a, b in zip(rounds, rounds[1:]))
+    # Scaling between k^-1 and k^-2: doubling k improves rounds by a factor in
+    # (1.3, 4.5) (slack for integer rounding and the balanced-partition noise).
+    for (k_small, r_small), (k_big, r_big) in zip(
+        zip(machine_counts, rounds), zip(machine_counts[1:], rounds[1:])
+    ):
+        factor = r_small / r_big
+        assert 1.3 < factor < 4.5, f"k={k_small}->{k_big}: improvement {factor:.2f}"
+    # The Conversion Theorem prediction decreases with k as well.
+    predictions = table.series("conversion_prediction")
+    assert all(a > b for a, b in zip(predictions, predictions[1:]))

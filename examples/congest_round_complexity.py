@@ -1,0 +1,53 @@
+"""Measure the distributed cost of CDRW in the CONGEST model (Theorem 5).
+
+The same detection that the quickstart runs centrally is executed here on the
+CONGEST simulator: every BFS flooding round, probability-propagation round
+and binary-search convergecast is charged, and the measured rounds/messages
+are compared against the O(log^4 n) / Õ((n²/r)(p+q(r−1))) bounds of the paper.
+
+Run with::
+
+    python examples/congest_round_complexity.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.congest import (
+    detect_community_congest,
+    message_bound_single_community,
+    round_bound_single_community,
+)
+from repro.graphs import planted_partition_graph, ppm_expected_conductance
+
+
+def main() -> None:
+    num_blocks = 2
+    print(f"{'n':>6} {'rounds':>10} {'log^4 n':>10} {'ratio':>7} "
+          f"{'messages':>12} {'msg bound':>12} {'ratio':>7}")
+    for n in (128, 256, 512, 1024):
+        p = 2 * math.log(n) ** 2 / n
+        q = 0.6 / n
+        ppm = planted_partition_graph(n, num_blocks, p, q, seed=0)
+        delta = ppm_expected_conductance(n, num_blocks, p, q)
+        outcome = detect_community_congest(ppm.graph, 0, delta_hint=delta)
+
+        round_bound = round_bound_single_community(n)
+        message_bound = message_bound_single_community(n, num_blocks, p, q)
+        print(
+            f"{n:>6} {outcome.cost.rounds:>10} {round_bound:>10.0f} "
+            f"{outcome.cost.rounds / round_bound:>7.1f} "
+            f"{outcome.cost.messages:>12} {message_bound:>12.0f} "
+            f"{outcome.cost.messages / message_bound:>7.2f}"
+        )
+
+    print(
+        "\nThe measured/bound ratios stay roughly flat as n grows: the measured "
+        "complexity follows the polylogarithmic round bound and the edge-"
+        "proportional message bound of Theorem 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Sweep the separation parameter q on sparse PPM graphs (the Figure 3 workload).
+
+The paper's headline regime is community detection *near the connectivity
+threshold*: intra-community density p = 2 log n / n, which is as sparse as a
+connected community can be.  This example sweeps the inter-community
+probability q from "very well separated" to "essentially merged" and shows
+how the detection accuracy degrades, mirroring Figure 3.
+
+Run with::
+
+    python examples/sparse_sbm_sweep.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import detect_communities, planted_partition_graph
+from repro.graphs import mixing_parameter, ppm_expected_conductance
+from repro.metrics import average_f_score
+
+
+def main() -> None:
+    n, num_blocks = 2048, 2
+    p = 2 * math.log(n) / n
+    q_values = {
+        "0.1/n": 0.1 / n,
+        "0.6/n": 0.6 / n,
+        "2/n": 2.0 / n,
+        "logn/n": math.log(n) / n,
+    }
+
+    print(f"Sparse PPM sweep: n={n}, r={num_blocks}, p=2log(n)/n={p:.5f}")
+    print(f"{'q':>10}  {'p/q':>8}  {'escape prob/step':>17}  {'F-score':>8}")
+    for label, q in q_values.items():
+        ppm = planted_partition_graph(n, num_blocks, p, q, seed=1)
+        delta = ppm_expected_conductance(n, num_blocks, p, q)
+        detection = detect_communities(ppm.graph, delta_hint=delta, seed=1)
+        f_score = average_f_score(detection, ppm.partition)
+        escape = mixing_parameter(n, num_blocks, p, q)
+        print(f"{label:>10}  {p / q:>8.1f}  {escape:>17.4f}  {f_score:>8.3f}")
+
+    print(
+        "\nTheorem 6 requires q = o(p / (r log(n/r))), i.e. p/q >> "
+        f"{num_blocks * math.log(n / num_blocks):.0f} here; accuracy degrades as "
+        "q approaches that threshold, exactly as Figure 3 shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

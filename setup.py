@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable on environments whose pip/setuptools are too
+old for PEP 660 editable wheels (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

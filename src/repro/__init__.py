@@ -1,0 +1,93 @@
+"""repro — reproduction of *Efficient Distributed Community Detection in the
+Stochastic Block Model* (Fathi, Molla, Pandurangan; ICDCS 2019).
+
+The package implements the CDRW algorithm (community detection via random
+walks and local mixing sets), the planted partition / stochastic block model
+substrate it is evaluated on, simulators for the CONGEST and k-machine
+distributed computing models, the baselines discussed by the paper's related
+work, and the experiment harness that regenerates every figure of the
+evaluation section.
+
+Quickstart
+----------
+>>> from repro import planted_partition_graph, detect_communities, average_f_score
+>>> from repro.graphs import ppm_expected_conductance
+>>> ppm = planted_partition_graph(n=512, num_blocks=2, p=0.08, q=0.002, seed=7)
+>>> detection = detect_communities(
+...     ppm.graph,
+...     delta_hint=ppm_expected_conductance(512, 2, 0.08, 0.002),
+...     seed=7,
+... )
+>>> average_f_score(detection, ppm.partition) > 0.9
+True
+"""
+
+from .exceptions import (
+    AlgorithmError,
+    BandwidthExceededError,
+    ConvergenceError,
+    ExperimentError,
+    GeneratorError,
+    GraphError,
+    MachineError,
+    MetricError,
+    MixingError,
+    PartitionError,
+    RandomWalkError,
+    ReproError,
+    SimulationError,
+)
+from .graphs import (
+    Graph,
+    Partition,
+    PlantedPartition,
+    gnp_random_graph,
+    planted_partition_graph,
+    stochastic_block_model_graph,
+)
+from .core import (
+    CDRWParameters,
+    CommunityResult,
+    DetectionResult,
+    detect_communities,
+    detect_communities_parallel,
+    detect_community,
+)
+from .metrics import average_f_score, score_detection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "GeneratorError",
+    "PartitionError",
+    "RandomWalkError",
+    "MixingError",
+    "AlgorithmError",
+    "ConvergenceError",
+    "SimulationError",
+    "BandwidthExceededError",
+    "MachineError",
+    "MetricError",
+    "ExperimentError",
+    # graphs
+    "Graph",
+    "Partition",
+    "PlantedPartition",
+    "gnp_random_graph",
+    "planted_partition_graph",
+    "stochastic_block_model_graph",
+    # core algorithm
+    "CDRWParameters",
+    "CommunityResult",
+    "DetectionResult",
+    "detect_community",
+    "detect_communities",
+    "detect_communities_parallel",
+    # metrics
+    "average_f_score",
+    "score_detection",
+]

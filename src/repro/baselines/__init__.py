@@ -1,0 +1,20 @@
+"""Baseline community detection algorithms discussed in the paper's related work."""
+
+from .label_propagation import LabelPropagationResult, label_propagation
+from .averaging import AveragingResult, averaging_dynamics
+from .spectral import SpectralResult, spectral_clustering
+from .walktrap import WalktrapResult, walktrap_communities
+from .clementi import ClementiResult, clementi_two_communities
+
+__all__ = [
+    "LabelPropagationResult",
+    "label_propagation",
+    "AveragingResult",
+    "averaging_dynamics",
+    "SpectralResult",
+    "spectral_clustering",
+    "WalktrapResult",
+    "walktrap_communities",
+    "ClementiResult",
+    "clementi_two_communities",
+]

@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate any figure or experiment from a terminal.
+
+Examples
+--------
+Reproduce Figure 3 with two trials per cell::
+
+    python -m repro figure3 --trials 2
+
+Measure the k-machine scaling on a 1024-vertex PPM graph::
+
+    python -m repro kmachine --n 1024 --machines 2 4 8 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import (
+    compare_baselines,
+    congest_scaling,
+    figure1_stats,
+    figure2_grid,
+    figure3_grid,
+    figure4a_grid,
+    figure4b_grid,
+    kmachine_scaling,
+    render_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Efficient Distributed Community Detection "
+            "in the Stochastic Block Model' (ICDCS 2019)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed (default 0)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = subparsers.add_parser("figure1", help="structure of the Figure 1 PPM instance")
+    figure1.add_argument("--n", type=int, default=1000)
+    figure1.add_argument("--blocks", type=int, default=5)
+
+    figure2 = subparsers.add_parser("figure2", help="CDRW accuracy on G(n, p)")
+    figure2.add_argument("--trials", type=int, default=3)
+    figure2.add_argument("--sizes", type=int, nargs="+", default=None)
+
+    figure3 = subparsers.add_parser("figure3", help="CDRW accuracy on 2-block PPM graphs")
+    figure3.add_argument("--trials", type=int, default=3)
+    figure3.add_argument("--n", type=int, default=2048)
+
+    figure4a = subparsers.add_parser("figure4a", help="accuracy vs r, fixed community size")
+    figure4a.add_argument("--trials", type=int, default=3)
+
+    figure4b = subparsers.add_parser("figure4b", help="accuracy vs r, fixed total size")
+    figure4b.add_argument("--trials", type=int, default=3)
+
+    congest = subparsers.add_parser("congest", help="CONGEST round/message scaling")
+    congest.add_argument("--sizes", type=int, nargs="+", default=None)
+
+    kmachine = subparsers.add_parser("kmachine", help="k-machine round scaling")
+    kmachine.add_argument("--n", type=int, default=1024)
+    kmachine.add_argument("--machines", type=int, nargs="+", default=None)
+
+    baselines = subparsers.add_parser("baselines", help="CDRW vs baseline methods")
+    baselines.add_argument("--n", type=int, default=1024)
+    baselines.add_argument("--blocks", type=int, default=2)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` command; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "figure1":
+        table = figure1_stats(n=arguments.n, num_blocks=arguments.blocks, seed=arguments.seed)
+    elif arguments.command == "figure2":
+        kwargs = {"trials": arguments.trials, "seed": arguments.seed}
+        if arguments.sizes:
+            kwargs["sizes"] = tuple(arguments.sizes)
+        table = figure2_grid(**kwargs)
+    elif arguments.command == "figure3":
+        table = figure3_grid(n=arguments.n, trials=arguments.trials, seed=arguments.seed)
+    elif arguments.command == "figure4a":
+        table = figure4a_grid(trials=arguments.trials, seed=arguments.seed)
+    elif arguments.command == "figure4b":
+        table = figure4b_grid(trials=arguments.trials, seed=arguments.seed)
+    elif arguments.command == "congest":
+        kwargs = {"seed": arguments.seed}
+        if arguments.sizes:
+            kwargs["sizes"] = tuple(arguments.sizes)
+        table = congest_scaling(**kwargs)
+    elif arguments.command == "kmachine":
+        kwargs = {"n": arguments.n, "seed": arguments.seed}
+        if arguments.machines:
+            kwargs["machine_counts"] = tuple(arguments.machines)
+        table = kmachine_scaling(**kwargs)
+    elif arguments.command == "baselines":
+        table = compare_baselines(
+            n=arguments.n, num_blocks=arguments.blocks, seed=arguments.seed
+        )
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {arguments.command!r}")
+        return 2
+
+    print(render_experiment(table))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

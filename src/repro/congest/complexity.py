@@ -1,0 +1,78 @@
+"""Theoretical CONGEST complexity bounds of CDRW (Theorems 5 and 6).
+
+These closed-form expressions are what the measured counters of
+:mod:`repro.congest.cdrw_congest` are compared against in the complexity
+experiments (EXPERIMENTS.md, "CONGEST scaling"):
+
+* Theorem 5 — detecting one community takes ``O(log⁴ n)`` rounds and
+  ``Õ((n²/r)(p + q(r−1)))`` messages in expectation;
+* Theorem 6 — detecting all ``r`` communities takes ``O(r log⁴ n)`` rounds
+  and ``Õ(n²(p + q(r−1)))`` messages.
+
+The functions return the bound *without* its hidden constant, so experiments
+report the ratio measured/bound, which should stay bounded (and roughly flat)
+as ``n`` grows if the implementation matches the analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import SimulationError
+
+__all__ = [
+    "round_bound_single_community",
+    "round_bound_all_communities",
+    "message_bound_single_community",
+    "message_bound_all_communities",
+    "expected_edges",
+]
+
+
+def _check(n: int, r: int, p: float, q: float) -> None:
+    if n < 2:
+        raise SimulationError(f"n must be >= 2, got {n}")
+    if r < 1 or n % r != 0:
+        raise SimulationError(f"r must divide n, got n={n}, r={r}")
+    for name, value in (("p", p), ("q", q)):
+        if not (0.0 <= value <= 1.0):
+            raise SimulationError(f"{name} must be in [0, 1], got {value}")
+
+
+def round_bound_single_community(n: int) -> float:
+    """Theorem 5 round bound ``log⁴ n`` (natural log, constant omitted)."""
+    if n < 2:
+        raise SimulationError(f"n must be >= 2, got {n}")
+    return math.log(n) ** 4
+
+
+def round_bound_all_communities(n: int, r: int) -> float:
+    """Theorem 6 round bound ``r · log⁴ n`` (constant omitted)."""
+    if r < 1:
+        raise SimulationError(f"r must be >= 1, got {r}")
+    return r * round_bound_single_community(n)
+
+
+def expected_edges(n: int, r: int, p: float, q: float) -> float:
+    """Expected number of edges of ``G(n, p, q)``: ``r·C(n/r,2)·p + C(r,2)(n/r)²·q``."""
+    _check(n, r, p, q)
+    block = n / r
+    intra = r * block * (block - 1) / 2.0 * p
+    inter = r * (r - 1) / 2.0 * block * block * q
+    return intra + inter
+
+
+def message_bound_single_community(n: int, r: int, p: float, q: float) -> float:
+    """Theorem 5 message bound ``(n²/r)(p + q(r−1)) · log⁴ n``.
+
+    The ``Õ`` in the theorem hides the ``log⁴ n`` factor (time complexity ×
+    edges touched); it is included here so the measured/bound ratio is O(1).
+    """
+    _check(n, r, p, q)
+    return (n * n / r) * (p + q * (r - 1)) * math.log(n) ** 4
+
+
+def message_bound_all_communities(n: int, r: int, p: float, q: float) -> float:
+    """Theorem 6 message bound ``n²(p + q(r−1)) · log⁴ n``."""
+    _check(n, r, p, q)
+    return n * n * (p + q * (r - 1)) * math.log(n) ** 4

@@ -1,0 +1,91 @@
+"""Messages exchanged in the CONGEST model simulator.
+
+The CONGEST model allows each node to send one message of ``O(log n)`` bits
+over each incident edge per synchronous round.  The simulator therefore
+models a message as a small, typed payload and *accounts* for its size: a
+message that would not fit in ``O(log n)`` bits (for example a payload
+containing a large collection) is rejected, which keeps algorithm
+implementations honest about the model's bandwidth constraint.
+
+Numeric payloads (probabilities, partial sums) are treated as a constant
+number of machine words, the standard convention when analysing algorithms
+such as CDRW whose values are rationals with polynomially-bounded
+denominators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import SimulationError
+
+__all__ = ["Message", "message_size_in_words", "MAX_WORDS_PER_MESSAGE"]
+
+#: Maximum number of O(log n)-bit words a single CONGEST message may carry.
+#: One word is the standard allowance; we allow a small constant number so a
+#: message can carry a type tag plus a couple of values (e.g. a binary-search
+#: pivot and a count), which is routinely assumed in CONGEST algorithm
+#: descriptions and does not change any asymptotics.
+MAX_WORDS_PER_MESSAGE: int = 4
+
+
+def message_size_in_words(payload: Any) -> int:
+    """Return how many O(log n)-bit words ``payload`` occupies.
+
+    Scalars (ints, floats, bools, None, short strings used as type tags)
+    count as one word.  Tuples/lists/dicts count the sum of their elements.
+    """
+    if payload is None or isinstance(payload, (bool, int, float)):
+        return 1
+    if isinstance(payload, str):
+        # Type tags are short constant strings: one word.
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(message_size_in_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            message_size_in_words(key) + message_size_in_words(value)
+            for key, value in payload.items()
+        )
+    raise SimulationError(
+        f"cannot measure the size of a payload of type {type(payload).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message travelling along one edge for one round.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Endpoint vertex ids of the edge the message travels on.
+    kind:
+        A short string identifying the message type (e.g. ``"probability"``,
+        ``"bfs"``, ``"upcast"``).
+    payload:
+        The message content.  Its size in words must not exceed
+        :data:`MAX_WORDS_PER_MESSAGE`.
+    round_sent:
+        The round in which the message was handed to the network (filled in
+        by the simulator).
+    """
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Any = None
+    round_sent: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        size = message_size_in_words(self.payload) + 1  # +1 for the kind tag
+        if size > MAX_WORDS_PER_MESSAGE:
+            raise SimulationError(
+                f"message of kind {self.kind!r} needs {size} words, which exceeds the "
+                f"CONGEST bandwidth of {MAX_WORDS_PER_MESSAGE} words per edge per round"
+            )
+
+    def size_in_words(self) -> int:
+        """Return the size of this message in O(log n)-bit words (incl. the tag)."""
+        return message_size_in_words(self.payload) + 1

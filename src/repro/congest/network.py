@@ -1,0 +1,186 @@
+"""A synchronous message-passing simulator for the CONGEST model.
+
+The CONGEST model (Peleg) runs on the input graph itself: vertices are
+processors, edges are links, computation proceeds in synchronous rounds and
+each vertex may send one ``O(log n)``-bit message per incident edge per
+round.  :class:`CongestNetwork` simulates this faithfully:
+
+* a round is opened with :meth:`CongestNetwork.begin_round`, messages are
+  submitted with :meth:`CongestNetwork.send` (the simulator rejects messages
+  over non-edges and enforces the one-message-per-directed-edge-per-round
+  bandwidth limit), and :meth:`CongestNetwork.end_round` delivers everything
+  submitted in that round;
+* the simulator keeps the two complexity measures the paper analyses — the
+  number of rounds and the total number of messages — plus a per-kind
+  message breakdown that the experiment harness reports.
+
+Higher-level primitives (BFS trees, broadcast, convergecast, the binary
+search of Algorithm 1) are built on top of this interface in
+:mod:`repro.congest.bfs` and :mod:`repro.congest.aggregation`.  For large
+parameter sweeps those primitives can skip materialising individual
+:class:`~repro.congest.message.Message` objects while still performing the
+identical per-round schedule and charging identical round/message counts
+(``count_only`` accounting); tests assert that both paths agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..exceptions import BandwidthExceededError, SimulationError
+from ..graphs.graph import Graph
+from .message import Message
+
+__all__ = ["CongestNetwork", "CostReport"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """A snapshot of the complexity counters of a simulation.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds elapsed.
+    messages:
+        Total number of messages delivered.
+    messages_by_kind:
+        Message totals broken down by message kind.
+    """
+
+    rounds: int
+    messages: int
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        kinds = defaultdict(int, self.messages_by_kind)
+        for kind, count in other.messages_by_kind.items():
+            kinds[kind] += count
+        return CostReport(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            messages_by_kind=dict(kinds),
+        )
+
+
+class CongestNetwork:
+    """Synchronous CONGEST-model execution environment over a :class:`Graph`."""
+
+    def __init__(self, graph: Graph):
+        if graph.num_vertices == 0:
+            raise SimulationError("cannot build a CONGEST network on an empty graph")
+        self._graph = graph
+        self._rounds = 0
+        self._messages = 0
+        self._messages_by_kind: dict[str, int] = defaultdict(int)
+        self._round_open = False
+        self._outbox: dict[tuple[int, int], Message] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying communication graph."""
+        return self._graph
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds elapsed so far."""
+        return self._rounds
+
+    @property
+    def messages(self) -> int:
+        """Total number of messages delivered so far."""
+        return self._messages
+
+    def cost_report(self) -> CostReport:
+        """Return a snapshot of the complexity counters."""
+        return CostReport(
+            rounds=self._rounds,
+            messages=self._messages,
+            messages_by_kind=dict(self._messages_by_kind),
+        )
+
+    def reset_costs(self) -> None:
+        """Zero all complexity counters (the topology is kept)."""
+        if self._round_open:
+            raise SimulationError("cannot reset counters in the middle of a round")
+        self._rounds = 0
+        self._messages = 0
+        self._messages_by_kind = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Message-level round interface
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        """Open a new synchronous round."""
+        if self._round_open:
+            raise SimulationError("a round is already open; call end_round() first")
+        self._round_open = True
+        self._outbox = {}
+
+    def send(self, sender: int, receiver: int, kind: str, payload=None) -> None:
+        """Submit one message for delivery at the end of the current round.
+
+        Raises
+        ------
+        SimulationError
+            If no round is open or the endpoints are not adjacent.
+        BandwidthExceededError
+            If a second message is submitted on the same directed edge in the
+            same round (the CONGEST bandwidth limit).
+        """
+        if not self._round_open:
+            raise SimulationError("send() called outside a round; call begin_round() first")
+        if not self._graph.has_edge(sender, receiver):
+            raise SimulationError(
+                f"cannot send from {sender} to {receiver}: the vertices are not adjacent"
+            )
+        key = (sender, receiver)
+        if key in self._outbox:
+            raise BandwidthExceededError(
+                f"vertex {sender} already sent a message to {receiver} this round"
+            )
+        self._outbox[key] = Message(
+            sender=sender, receiver=receiver, kind=kind, payload=payload,
+            round_sent=self._rounds,
+        )
+
+    def end_round(self) -> dict[int, list[Message]]:
+        """Close the round and return the delivered messages grouped by receiver."""
+        if not self._round_open:
+            raise SimulationError("end_round() called without a matching begin_round()")
+        delivered: dict[int, list[Message]] = defaultdict(list)
+        for message in self._outbox.values():
+            delivered[message.receiver].append(message)
+            self._messages += 1
+            self._messages_by_kind[message.kind] += 1
+        self._rounds += 1
+        self._round_open = False
+        self._outbox = {}
+        return dict(delivered)
+
+    # ------------------------------------------------------------------
+    # Count-only accounting (identical schedule, no Message objects)
+    # ------------------------------------------------------------------
+    def charge_rounds(self, rounds: int) -> None:
+        """Charge ``rounds`` synchronous rounds without materialising messages.
+
+        Used by the high-level primitives when executing the same round
+        schedule in vectorised form; the caller is responsible for charging
+        the matching message count via :meth:`charge_messages`.
+        """
+        if self._round_open:
+            raise SimulationError("cannot charge rounds while a message-level round is open")
+        if rounds < 0:
+            raise SimulationError(f"cannot charge a negative number of rounds: {rounds}")
+        self._rounds += rounds
+
+    def charge_messages(self, kind: str, count: int) -> None:
+        """Charge ``count`` messages of the given kind without materialising them."""
+        if count < 0:
+            raise SimulationError(f"cannot charge a negative number of messages: {count}")
+        self._messages += count
+        self._messages_by_kind[kind] += count

@@ -1,0 +1,29 @@
+"""CDRW core: the paper's community detection algorithm and its building blocks."""
+
+from .parameters import CDRWParameters
+from .mixing_set import (
+    LargestMixingSet,
+    MixingSetSearch,
+    deviation_values,
+    mixing_deficit_for_size,
+)
+from .stopping import GrowthStoppingRule, StoppingDecision
+from .result import CommunityResult, DetectionResult
+from .cdrw import detect_communities, detect_community
+from .parallel import detect_communities_parallel, select_spread_seeds
+
+__all__ = [
+    "CDRWParameters",
+    "LargestMixingSet",
+    "MixingSetSearch",
+    "deviation_values",
+    "mixing_deficit_for_size",
+    "GrowthStoppingRule",
+    "StoppingDecision",
+    "CommunityResult",
+    "DetectionResult",
+    "detect_communities",
+    "detect_community",
+    "detect_communities_parallel",
+    "select_spread_seeds",
+]

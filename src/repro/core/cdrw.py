@@ -1,0 +1,190 @@
+"""CDRW — Community Detection by Random Walks (Algorithm 1 of the paper).
+
+Two entry points are provided:
+
+* :func:`detect_community` finds the community containing one seed vertex
+  (the inner body of Algorithm 1, lines 5-20), and
+* :func:`detect_communities` runs the full pool loop: repeatedly pick a random
+  seed from the pool of not-yet-assigned vertices, detect its community, and
+  remove the detected vertices from the pool (lines 1-4 and 21-23).
+
+This module is the *centralized executor*: it performs exactly the arithmetic
+the CONGEST node programs perform (the distribution update of lines 9-11, the
+``x_u`` ranking of lines 12-17 and the growth test of line 18) without paying
+the cost of simulating individual messages, which keeps the accuracy
+experiments of Figures 2-4 fast.  The message-level implementations live in
+:mod:`repro.congest.cdrw_congest` and :mod:`repro.kmachine.cdrw_kmachine`;
+equivalence on small graphs is covered by integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..graphs.graph import Graph
+from ..randomwalk.distribution import WalkDistribution
+from ..utils import as_rng
+from .mixing_set import LargestMixingSet, MixingSetSearch
+from .parameters import CDRWParameters
+from .result import CommunityResult, DetectionResult
+from .stopping import GrowthStoppingRule
+
+__all__ = ["detect_community", "detect_communities"]
+
+
+def detect_community(
+    graph: Graph,
+    seed_vertex: int,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+) -> CommunityResult:
+    """Detect the community containing ``seed_vertex``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    seed_vertex:
+        The seed ``s`` whose community is to be found.
+    parameters:
+        Algorithm parameters; defaults to the paper's values.
+    delta_hint:
+        Optional externally-known conductance ``Φ_G`` used for the stopping
+        parameter δ when ``parameters.delta`` is not set.  The paper assumes
+        ``Φ_G`` is given as input or computed by a separate distributed
+        algorithm; experiments pass the analytic PPM conductance here.
+
+    Returns
+    -------
+    CommunityResult
+        The detected community together with the per-step trace.
+    """
+    if seed_vertex not in graph:
+        raise AlgorithmError(f"seed vertex {seed_vertex} is not a vertex of {graph!r}")
+    if graph.num_edges == 0:
+        # An isolated seed trivially forms its own community.
+        return CommunityResult(
+            seed=seed_vertex,
+            community=frozenset({seed_vertex}),
+            walk_length=0,
+            history=(),
+            stop_reason="graph has no edges",
+            delta=0.0,
+        )
+    parameters = parameters or CDRWParameters()
+
+    delta = parameters.resolve_delta(graph, delta_hint)
+    initial_size = parameters.resolve_initial_size(graph)
+    max_walk_length = parameters.resolve_max_walk_length(graph)
+
+    search = MixingSetSearch(
+        graph,
+        initial_size=initial_size,
+        mixing_threshold=parameters.mixing_threshold,
+        growth_factor=parameters.growth_factor,
+        schedule=parameters.size_schedule,
+        stop_at_first_failure=parameters.stop_at_first_failure,
+        min_mass=parameters.min_mass,
+    )
+    stopping = GrowthStoppingRule(delta=delta)
+    walk = WalkDistribution(graph, seed_vertex, lazy=parameters.lazy_walk)
+
+    history: list[LargestMixingSet] = []
+    last_found: LargestMixingSet | None = None
+    stop_reason = "walk length budget exhausted"
+    stopped_at = max_walk_length
+
+    for length in range(1, max_walk_length + 1):
+        walk.step()
+        current = search.largest_mixing_set(walk.probabilities(), length)
+        history.append(current)
+        if current.found:
+            last_found = current
+        decision = stopping.observe(current)
+        if decision.should_stop and decision.community is not None:
+            community_set = decision.community
+            stop_reason = decision.reason
+            stopped_at = length
+            return CommunityResult(
+                seed=seed_vertex,
+                community=_ensure_seed(community_set.members, seed_vertex),
+                walk_length=stopped_at,
+                history=tuple(history),
+                stop_reason=stop_reason,
+                delta=delta,
+            )
+
+    # Budget exhausted without triggering the growth rule (e.g. very small
+    # graphs or overly tight budgets): report the last mixing set found, or
+    # the seed alone if none was ever found.
+    if last_found is not None:
+        members = _ensure_seed(last_found.members, seed_vertex)
+    else:
+        members = frozenset({seed_vertex})
+        stop_reason = "no mixing set found within the walk budget"
+    return CommunityResult(
+        seed=seed_vertex,
+        community=members,
+        walk_length=stopped_at,
+        history=tuple(history),
+        stop_reason=stop_reason,
+        delta=delta,
+    )
+
+
+def detect_communities(
+    graph: Graph,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    max_seeds: int | None = None,
+) -> DetectionResult:
+    """Detect all communities of ``graph`` with the pool loop of Algorithm 1.
+
+    Parameters
+    ----------
+    seed:
+        Random seed (or generator) controlling the order in which seed
+        vertices are drawn from the pool.
+    max_seeds:
+        Optional cap on the number of seeds processed, useful when only the
+        dominant communities are of interest; ``None`` runs until the pool is
+        empty (the paper's behaviour).
+
+    Returns
+    -------
+    DetectionResult
+        One :class:`CommunityResult` per processed seed.  Detected communities
+        may overlap (each detection sees the whole graph); only the seed pool
+        shrinks, exactly as in Algorithm 1.
+    """
+    parameters = parameters or CDRWParameters()
+    rng = as_rng(seed)
+
+    pool = set(range(graph.num_vertices))
+    results: list[CommunityResult] = []
+    while pool:
+        if max_seeds is not None and len(results) >= max_seeds:
+            break
+        seed_vertex = int(rng.choice(sorted(pool)))
+        result = detect_community(graph, seed_vertex, parameters, delta_hint=delta_hint)
+        results.append(result)
+        detected = result.community if result.community else frozenset({seed_vertex})
+        # Remove the detected community from the pool; always remove the seed
+        # itself so the loop is guaranteed to terminate.
+        pool.difference_update(detected)
+        pool.discard(seed_vertex)
+    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
+
+
+def _ensure_seed(members: frozenset[int], seed_vertex: int) -> frozenset[int]:
+    """Return ``members`` with the seed vertex included.
+
+    The localized ranking can, in degenerate cases, exclude the seed itself
+    (its probability stays above the per-vertex target while mass has spread);
+    the detected community must still contain the seed by definition.
+    """
+    if seed_vertex in members:
+        return members
+    return frozenset(members | {seed_vertex})

@@ -1,0 +1,198 @@
+"""The localized largest-mixing-set search at a fixed walk length.
+
+This implements lines 12-17 of Algorithm 1.  Given the walk distribution
+``p_ℓ`` after ``ℓ`` steps:
+
+1. every vertex ``u`` computes ``x_u = | p_ℓ(u) − d(u)/µ'(S) |`` where
+   ``µ'(S) = (2m/n)·|S|`` is the *average* volume of a size-``|S|`` set (the
+   localized stand-in for the true volume ``µ(S)``, which a vertex cannot know
+   without learning the whole set);
+2. the seed collects the ``|S|`` smallest ``x_u`` values (distributedly this
+   is done by binary search over a BFS tree — see
+   :mod:`repro.congest.aggregation`) and accepts the size when their sum is
+   below the threshold ``1/(2e)``;
+3. candidate sizes grow geometrically by ``(1 + 1/8e)`` starting from
+   ``R = log n``; the search stops at the first size that fails and reports
+   the largest accepted size together with the vertices attaining it.
+
+The function here is the *centralized executor* of this search: it performs
+the same arithmetic as the CONGEST node programs and is what the accuracy
+experiments run (the distributed implementation produces identical sets —
+asserted by integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..graphs.graph import Graph
+from ..utils import GROWTH_FACTOR, MIXING_THRESHOLD, geometric_sizes, linear_sizes
+
+__all__ = ["MixingSetSearch", "LargestMixingSet", "deviation_values", "mixing_deficit_for_size"]
+
+
+@dataclass(frozen=True)
+class LargestMixingSet:
+    """Outcome of the largest-mixing-set search at one walk length.
+
+    Attributes
+    ----------
+    walk_length:
+        The walk length ``ℓ`` the search was run at.
+    size:
+        Size of the largest accepted candidate (0 when none was accepted).
+    members:
+        The accepted vertex set (empty when ``size`` is 0).
+    deficit:
+        The sum of the ``size`` smallest ``x_u`` values of the accepted set.
+    mass:
+        The total walk probability currently held by the accepted set.
+    sizes_examined:
+        How many candidate sizes were evaluated (for complexity accounting).
+    """
+
+    walk_length: int
+    size: int
+    members: frozenset[int]
+    deficit: float
+    mass: float
+    sizes_examined: int
+
+    @property
+    def found(self) -> bool:
+        """Whether any candidate size satisfied the mixing condition."""
+        return self.size > 0
+
+
+def deviation_values(graph: Graph, distribution: np.ndarray, subset_size: int) -> np.ndarray:
+    """Return the per-vertex deviations ``x_u = |p(u) − d(u)/µ'(S)|`` for ``|S| = subset_size``."""
+    if subset_size < 1:
+        raise AlgorithmError(f"subset size must be >= 1, got {subset_size}")
+    if graph.num_edges == 0:
+        raise AlgorithmError("the mixing-set search requires a graph with at least one edge")
+    distribution = np.asarray(distribution, dtype=np.float64)
+    if distribution.shape != (graph.num_vertices,):
+        raise AlgorithmError(
+            f"distribution has shape {distribution.shape}, expected ({graph.num_vertices},)"
+        )
+    average_volume = graph.volume / graph.num_vertices * subset_size
+    targets = graph.degrees().astype(np.float64) / average_volume
+    return np.abs(distribution - targets)
+
+
+def mixing_deficit_for_size(
+    graph: Graph, distribution: np.ndarray, subset_size: int
+) -> tuple[float, float, np.ndarray]:
+    """Return ``(deficit, mass, members)`` for one candidate size.
+
+    ``deficit`` is the sum of the ``subset_size`` smallest ``x_u`` values,
+    ``mass`` is the walk probability held by the selected vertices and
+    ``members`` are the vertices attaining the smallest deviations (ties
+    broken by vertex id, mirroring the paper's tie-break of adding a
+    vanishing perturbation).
+    """
+    deviations = deviation_values(graph, distribution, subset_size)
+    distribution = np.asarray(distribution, dtype=np.float64)
+    if subset_size >= graph.num_vertices:
+        members = np.arange(graph.num_vertices, dtype=np.int64)
+        return float(deviations.sum()), float(distribution.sum()), members
+    # argpartition gives the smallest `subset_size` entries in O(n).
+    chosen = np.argpartition(deviations, subset_size - 1)[:subset_size]
+    chosen = np.sort(chosen)
+    return float(deviations[chosen].sum()), float(distribution[chosen].sum()), chosen
+
+
+class MixingSetSearch:
+    """Runs the largest-mixing-set search of Algorithm 1 for one graph.
+
+    The search object precomputes the candidate-size schedule once so that
+    repeated calls (one per walk length) stay cheap.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        initial_size: int,
+        mixing_threshold: float = MIXING_THRESHOLD,
+        growth_factor: float = GROWTH_FACTOR,
+        schedule: str = "geometric",
+        stop_at_first_failure: bool = False,
+        min_mass: float | None = None,
+    ):
+        if initial_size < 1:
+            raise AlgorithmError(f"initial size must be >= 1, got {initial_size}")
+        if graph.num_vertices == 0:
+            raise AlgorithmError("cannot search for mixing sets in an empty graph")
+        if not (0.0 < mixing_threshold < 2.0):
+            raise AlgorithmError(f"mixing threshold must be in (0, 2), got {mixing_threshold}")
+        if min_mass is None:
+            # Definition 2 implies a true local mixing set holds mass at least
+            # 1 - ε; the localized µ'(S) proxy loses that guarantee (a set of
+            # low-degree vertices with almost no probability can have small
+            # per-vertex deviations), so the mass condition is enforced
+            # explicitly, slightly relaxed to 1 - 2ε to tolerate the
+            # probability that leaks across the sparse PPM cut while the walk
+            # mixes inside its block.
+            min_mass = max(0.0, 1.0 - 2.0 * mixing_threshold)
+        if not (0.0 <= min_mass <= 1.0):
+            raise AlgorithmError(f"min_mass must be in [0, 1], got {min_mass}")
+        self._graph = graph
+        self._threshold = mixing_threshold
+        self._min_mass = min_mass
+        self._stop_at_first_failure = bool(stop_at_first_failure)
+        initial = min(initial_size, graph.num_vertices)
+        if schedule == "geometric":
+            self._sizes = geometric_sizes(initial, graph.num_vertices, growth_factor)
+        elif schedule == "linear":
+            self._sizes = linear_sizes(initial, graph.num_vertices)
+        else:
+            raise AlgorithmError(f"unknown schedule: {schedule!r}")
+
+    @property
+    def candidate_sizes(self) -> list[int]:
+        """The candidate-size schedule (read-only copy)."""
+        return list(self._sizes)
+
+    def largest_mixing_set(self, distribution: np.ndarray, walk_length: int) -> LargestMixingSet:
+        """Return the largest mixing set for the given walk distribution.
+
+        Candidate sizes are examined in increasing order and the *largest*
+        size whose ``|S|`` smallest deviations sum below the threshold wins
+        (Algorithm 1 line 17: "the largest set S which satisfies the mixing
+        condition").  By default the whole schedule is scanned: with the
+        localized average-volume proxy ``µ'(S)`` the acceptance predicate is
+        not monotone in ``|S|`` — in dense graphs no set smaller than roughly
+        the seed's degree can mix even though community-sized sets do — so
+        stopping at the first failing size (the literal pseudocode reading,
+        available via ``stop_at_first_failure=True``) can miss every mixing
+        set.  This deviation is recorded in DESIGN.md.
+        """
+        best_size = 0
+        best_members: np.ndarray | None = None
+        best_deficit = 0.0
+        best_mass = 0.0
+        examined = 0
+        for size in self._sizes:
+            examined += 1
+            deficit, mass, members = mixing_deficit_for_size(self._graph, distribution, size)
+            if deficit < self._threshold and mass >= self._min_mass:
+                best_size = size
+                best_members = members
+                best_deficit = deficit
+                best_mass = mass
+            elif deficit >= self._threshold and self._stop_at_first_failure:
+                break
+        members_set = (
+            frozenset(int(v) for v in best_members) if best_members is not None else frozenset()
+        )
+        return LargestMixingSet(
+            walk_length=walk_length,
+            size=best_size,
+            members=members_set,
+            deficit=best_deficit,
+            mass=best_mass,
+            sizes_examined=examined,
+        )

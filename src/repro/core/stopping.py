@@ -1,0 +1,114 @@
+"""The growth-based stopping rule of Algorithm 1 (line 18).
+
+The size of the largest mixing set is tracked across walk lengths; detection
+stops as soon as the size fails to grow by at least a ``(1 + δ)`` factor, at
+which point the *previous* step's mixing set is reported as the community.
+The paper chooses ``δ = Φ_G``: while the mixing set is still expanding inside
+a community, its size grows at rate ``Θ(d)`` per step (Lemma 2); once it has
+filled the community the per-step relative growth drops to the conductance of
+the community cut, so using ``Φ_G`` as the threshold separates the two
+regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import AlgorithmError
+from .mixing_set import LargestMixingSet
+
+__all__ = ["GrowthStoppingRule", "StoppingDecision"]
+
+
+@dataclass(frozen=True)
+class StoppingDecision:
+    """The verdict of the stopping rule after observing one walk length.
+
+    Attributes
+    ----------
+    should_stop:
+        ``True`` when detection should stop at this walk length.
+    community:
+        The mixing set to report when stopping (the previous step's set, per
+        Algorithm 1 line 20); ``None`` while detection continues or when no
+        usable set exists yet.
+    reason:
+        Human-readable reason (useful in experiment logs).
+    """
+
+    should_stop: bool
+    community: LargestMixingSet | None
+    reason: str
+
+
+@dataclass
+class GrowthStoppingRule:
+    """Stateful implementation of the ``|S_ℓ| < (1+δ)|S_{ℓ-1}|`` stopping rule.
+
+    Parameters
+    ----------
+    delta:
+        The growth threshold δ (the paper uses the graph conductance ``Φ_G``).
+    require_consecutive:
+        Number of consecutive low-growth steps required before stopping.
+        The paper stops at the first one (default 1); experiments may use 2
+        to smooth out unlucky plateaus early in the walk.
+    """
+
+    delta: float
+    require_consecutive: int = 1
+    _previous: LargestMixingSet | None = field(default=None, init=False, repr=False)
+    _low_growth_streak: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.delta < 0.0:
+            raise AlgorithmError(f"delta must be non-negative, got {self.delta}")
+        if self.require_consecutive < 1:
+            raise AlgorithmError(
+                f"require_consecutive must be >= 1, got {self.require_consecutive}"
+            )
+
+    @property
+    def previous(self) -> LargestMixingSet | None:
+        """The mixing set observed at the previous walk length."""
+        return self._previous
+
+    def observe(self, current: LargestMixingSet) -> StoppingDecision:
+        """Feed the mixing set found at the next walk length and get a verdict.
+
+        The rule only fires once both the previous and the current step found
+        a non-empty mixing set; before that the walk simply has not spread far
+        enough for any candidate size to satisfy the mixing condition, and the
+        algorithm keeps walking.
+        """
+        previous = self._previous
+        self._previous = current
+
+        if previous is None or not previous.found:
+            self._low_growth_streak = 0
+            return StoppingDecision(False, None, "no previous mixing set yet")
+        if not current.found:
+            # The mixing set vanished transiently: the walk has outgrown the
+            # sizes that mixed at the previous step but has not yet spread
+            # evenly over any larger candidate.  Keep walking; the last found
+            # set is still remembered by the caller as a fallback.
+            self._low_growth_streak = 0
+            return StoppingDecision(False, None, "mixing set temporarily vanished")
+
+        growth = current.size / previous.size
+        if growth < 1.0 + self.delta:
+            self._low_growth_streak += 1
+            if self._low_growth_streak >= self.require_consecutive:
+                return StoppingDecision(
+                    True,
+                    previous,
+                    f"growth {growth:.4f} below 1+δ = {1.0 + self.delta:.4f}",
+                )
+            return StoppingDecision(False, None, "low growth, waiting for confirmation")
+        self._low_growth_streak = 0
+        return StoppingDecision(False, None, f"growth {growth:.4f} still above 1+δ")
+
+    def reset(self) -> None:
+        """Forget all observed history (used when reusing the rule across seeds)."""
+        self._previous = None
+        self._low_growth_streak = 0

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class GeneratorError(ReproError):
+    """Raised when random graph generator parameters are invalid."""
+
+
+class PartitionError(ReproError):
+    """Raised for inconsistent vertex partitions."""
+
+
+class RandomWalkError(ReproError):
+    """Raised for invalid random walk configurations or states."""
+
+
+class MixingError(RandomWalkError):
+    """Raised when a mixing-time or local-mixing computation cannot proceed."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when a community detection algorithm is misconfigured."""
+
+
+class ConvergenceError(AlgorithmError):
+    """Raised when an iterative algorithm fails to converge within its budget."""
+
+
+class SimulationError(ReproError):
+    """Raised by the distributed-model simulators (CONGEST, k-machine)."""
+
+
+class BandwidthExceededError(SimulationError):
+    """Raised when a node attempts to exceed the per-edge bandwidth in a round."""
+
+
+class MachineError(SimulationError):
+    """Raised for invalid k-machine model configurations."""
+
+
+class MetricError(ReproError):
+    """Raised when an accuracy metric receives inconsistent inputs."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

@@ -1,0 +1,120 @@
+"""Baseline comparison on the Figure-3 workload.
+
+The paper's related-work section argues CDRW improves on label propagation
+(no convergence guarantee, analysed only on dense PPM graphs), on the
+two-community protocols of Clementi et al. and Becchetti et al., and avoids
+the cost of centralized methods (spectral clustering, Walktrap).  This
+experiment makes the comparison concrete: every method runs on the same
+generated PPM instances and is scored with the partition-level average
+F-score (and its runtime is recorded), so the benchmark output shows both
+sides of the trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..baselines.averaging import averaging_dynamics
+from ..baselines.clementi import clementi_two_communities
+from ..baselines.label_propagation import label_propagation
+from ..baselines.spectral import spectral_clustering
+from ..baselines.walktrap import walktrap_communities
+from ..core.cdrw import detect_communities
+from ..core.parameters import CDRWParameters
+from ..exceptions import ExperimentError
+from ..graphs.generators import planted_partition_graph
+from ..graphs.properties import ppm_expected_conductance
+from ..metrics.scores import average_f_score, partition_average_f_score
+from .parameters import PROBABILITY_SPECS
+from .runner import ExperimentTable
+
+__all__ = ["compare_baselines", "BASELINE_NAMES"]
+
+#: Baselines included in the comparison, in report order.
+BASELINE_NAMES: tuple[str, ...] = (
+    "cdrw",
+    "label_propagation",
+    "averaging_dynamics",
+    "clementi",
+    "spectral",
+    "walktrap",
+)
+
+
+def compare_baselines(
+    n: int = 1024,
+    num_blocks: int = 2,
+    p_spec: str = "2log2n/n",
+    q_spec: str = "0.6/n",
+    seed: int = 0,
+    methods: tuple[str, ...] = BASELINE_NAMES,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Run CDRW and the baselines on one PPM instance and score them all."""
+    unknown = set(methods) - set(BASELINE_NAMES)
+    if unknown:
+        raise ExperimentError(f"unknown baseline methods: {sorted(unknown)}")
+    p = PROBABILITY_SPECS[p_spec](n)
+    q = PROBABILITY_SPECS[q_spec](n)
+    ppm = planted_partition_graph(n, num_blocks, p, q, seed=seed)
+    truth = ppm.partition
+    delta = ppm_expected_conductance(n, num_blocks, p, q)
+    rng = np.random.default_rng(seed)
+
+    table = ExperimentTable(
+        name="baseline_comparison",
+        description=(
+            f"CDRW vs baselines on a PPM graph (n={n}, r={num_blocks}, "
+            f"p={p_spec}, q={q_spec})"
+        ),
+    )
+
+    for method in methods:
+        start = time.perf_counter()
+        if method == "cdrw":
+            detection = detect_communities(ppm.graph, parameters, delta_hint=delta, seed=rng)
+            f_score = average_f_score(detection, truth)
+            partition_f = partition_average_f_score(detection.to_partition(), truth)
+            extra = {"communities": float(detection.num_communities)}
+        elif method == "label_propagation":
+            result = label_propagation(ppm.graph, seed=rng)
+            f_score = partition_average_f_score(result.partition, truth)
+            partition_f = f_score
+            extra = {
+                "communities": float(result.partition.num_communities),
+                "converged": float(result.converged),
+            }
+        elif method == "averaging_dynamics":
+            result = averaging_dynamics(ppm.graph, seed=rng)
+            f_score = partition_average_f_score(result.partition, truth)
+            partition_f = f_score
+            extra = {"communities": float(result.partition.num_communities)}
+        elif method == "clementi":
+            result = clementi_two_communities(ppm.graph, seed=rng)
+            f_score = partition_average_f_score(result.partition, truth)
+            partition_f = f_score
+            extra = {"communities": float(result.partition.num_communities)}
+        elif method == "spectral":
+            result = spectral_clustering(ppm.graph, num_blocks, seed=rng)
+            f_score = partition_average_f_score(result.partition, truth)
+            partition_f = f_score
+            extra = {"communities": float(result.partition.num_communities)}
+        elif method == "walktrap":
+            result = walktrap_communities(ppm.graph, num_blocks)
+            f_score = partition_average_f_score(result.partition, truth)
+            partition_f = f_score
+            extra = {"communities": float(result.partition.num_communities)}
+        else:  # pragma: no cover - guarded above
+            raise ExperimentError(f"unhandled method {method!r}")
+        elapsed = time.perf_counter() - start
+
+        measurements = {
+            "f_score": f_score,
+            "partition_f_score": partition_f,
+            "runtime_seconds": elapsed,
+        }
+        measurements.update(extra)
+        table.add_row(parameters={"method": method}, measurements=measurements)
+    return table

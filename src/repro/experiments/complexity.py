@@ -1,0 +1,158 @@
+"""Complexity experiments: CONGEST scaling (Theorems 5/6) and k-machine scaling.
+
+These regenerate the paper's analytical claims as measurements:
+
+* :func:`congest_scaling` sweeps the graph size ``n`` and reports the rounds
+  and messages the CONGEST execution actually used for one community,
+  alongside the ``log⁴ n`` / ``Õ((n²/r)(p+q(r−1)))`` bounds of Theorem 5.
+  The measured/bound ratio should stay roughly flat as ``n`` grows.
+* :func:`kmachine_scaling` fixes a graph and sweeps the number of machines
+  ``k``, reporting the measured k-machine rounds, the Conversion-Theorem
+  prediction ``M/k² + ΔT/k`` evaluated with the measured CONGEST ``M`` and
+  ``T``, and the closed-form bound of Section III-B.  The measured rounds
+  should fall between the ``k^{-1}`` and ``k^{-2}`` scaling curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..congest.cdrw_congest import detect_community_congest
+from ..congest.complexity import (
+    message_bound_single_community,
+    round_bound_single_community,
+)
+from ..core.parameters import CDRWParameters
+from ..exceptions import ExperimentError
+from ..graphs.generators import planted_partition_graph
+from ..graphs.properties import ppm_expected_conductance
+from ..kmachine.cdrw_kmachine import detect_community_kmachine
+from ..kmachine.conversion import cdrw_kmachine_round_bound, conversion_theorem_rounds
+from ..kmachine.partition import RandomVertexPartition
+from .parameters import PROBABILITY_SPECS
+from .runner import ExperimentTable
+
+__all__ = ["congest_scaling", "kmachine_scaling"]
+
+#: Default graph sizes for the CONGEST scaling experiment.
+CONGEST_SIZES: tuple[int, ...] = (128, 256, 512, 1024)
+#: Default machine counts for the k-machine scaling experiment.
+KMACHINE_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32)
+
+
+def congest_scaling(
+    sizes: tuple[int, ...] = CONGEST_SIZES,
+    num_blocks: int = 2,
+    p_spec: str = "2log2n/n",
+    q_spec: str = "0.6/n",
+    seed: int = 0,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Measure CONGEST rounds/messages for one community across graph sizes."""
+    if num_blocks < 1:
+        raise ExperimentError(f"num_blocks must be >= 1, got {num_blocks}")
+    p_rule = PROBABILITY_SPECS[p_spec]
+    q_rule = PROBABILITY_SPECS[q_spec]
+    table = ExperimentTable(
+        name="congest_scaling",
+        description=(
+            "Measured CONGEST complexity of detecting one community vs the "
+            "Theorem 5 bounds"
+        ),
+    )
+    for n in sizes:
+        p = p_rule(n)
+        q = q_rule(n)
+        ppm = planted_partition_graph(n, num_blocks, p, q, seed=seed)
+        delta = ppm_expected_conductance(n, num_blocks, p, q)
+        rng = np.random.default_rng(seed)
+        seed_vertex = int(rng.integers(n))
+        outcome = detect_community_congest(
+            ppm.graph, seed_vertex, parameters, delta_hint=delta, count_only=True
+        )
+        round_bound = round_bound_single_community(n)
+        message_bound = message_bound_single_community(n, num_blocks, p, q)
+        table.add_row(
+            parameters={"n": n, "r": num_blocks, "p": p_rule.label, "q": q_rule.label},
+            measurements={
+                "rounds": float(outcome.cost.rounds),
+                "messages": float(outcome.cost.messages),
+                "round_bound_log4n": round_bound,
+                "message_bound": message_bound,
+                "rounds_over_bound": outcome.cost.rounds / round_bound,
+                "messages_over_bound": outcome.cost.messages / message_bound,
+                "community_size": float(outcome.community.size),
+                "bfs_depth": float(outcome.bfs_depth),
+            },
+        )
+    return table
+
+
+def kmachine_scaling(
+    n: int = 1024,
+    num_blocks: int = 2,
+    p_spec: str = "2log2n/n",
+    q_spec: str = "0.6/n",
+    machine_counts: tuple[int, ...] = KMACHINE_COUNTS,
+    seed: int = 0,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Measure k-machine rounds for one community across machine counts.
+
+    The same graph, seed vertex and algorithm parameters are reused for every
+    ``k`` so the only thing changing is the machine count, isolating the
+    ``k^{-1}`` / ``k^{-2}`` scaling the paper derives in Section III-B.
+    """
+    p_rule = PROBABILITY_SPECS[p_spec]
+    q_rule = PROBABILITY_SPECS[q_spec]
+    p = p_rule(n)
+    q = q_rule(n)
+    ppm = planted_partition_graph(n, num_blocks, p, q, seed=seed)
+    delta = ppm_expected_conductance(n, num_blocks, p, q)
+    rng = np.random.default_rng(seed)
+    seed_vertex = int(rng.integers(n))
+
+    # CONGEST reference run: its measured M and T feed the Conversion Theorem.
+    congest_outcome = detect_community_congest(
+        ppm.graph, seed_vertex, parameters, delta_hint=delta, count_only=True
+    )
+    congest_messages = congest_outcome.cost.messages
+    congest_rounds = congest_outcome.cost.rounds
+    max_degree = ppm.graph.max_degree()
+
+    table = ExperimentTable(
+        name="kmachine_scaling",
+        description=(
+            "Measured k-machine rounds for one community vs the Conversion "
+            "Theorem prediction and the closed-form bound of Section III-B"
+        ),
+    )
+    for k in machine_counts:
+        if k < 1:
+            raise ExperimentError(f"machine counts must be >= 1, got {k}")
+        partition = RandomVertexPartition(n, k, method="hash", seed=seed)
+        outcome = detect_community_kmachine(
+            ppm.graph,
+            seed_vertex,
+            k,
+            parameters,
+            delta_hint=delta,
+            partition=partition,
+        )
+        predicted = conversion_theorem_rounds(
+            congest_messages, congest_rounds, max_degree, k
+        )
+        bound = cdrw_kmachine_round_bound(n, num_blocks, p, q, k)
+        table.add_row(
+            parameters={"k": k, "n": n, "r": num_blocks, "p": p_rule.label, "q": q_rule.label},
+            measurements={
+                "rounds": float(outcome.cost.rounds),
+                "inter_machine_messages": float(outcome.cost.inter_machine_messages),
+                "local_messages": float(outcome.cost.local_messages),
+                "conversion_prediction": predicted,
+                "closed_form_bound": bound,
+                "congest_rounds": float(congest_rounds),
+                "congest_messages": float(congest_messages),
+            },
+        )
+    return table

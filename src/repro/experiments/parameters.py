@@ -1,0 +1,77 @@
+"""Parameter specifications used by the paper's figures.
+
+The paper expresses every edge probability relative to the graph size, e.g.
+``p = 2 log n / n`` or ``q = 0.6 / n``, and the Figure 4 legends express the
+separation as a ratio ``p/q`` proportional to ``log n`` or ``log² n``.  This
+module turns those symbolic specifications into numbers so that experiment
+definitions read like the paper's captions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import ExperimentError
+
+__all__ = ["ProbabilitySpec", "RatioSpec", "PROBABILITY_SPECS", "RATIO_SPECS"]
+
+
+@dataclass(frozen=True)
+class ProbabilitySpec:
+    """A named probability rule such as ``2·log(n)/n``.
+
+    Attributes
+    ----------
+    label:
+        The label used in tables and plots (mirrors the paper's notation).
+    evaluate:
+        Maps the graph size ``n`` to the probability value (clamped to 1).
+    """
+
+    label: str
+    evaluate: Callable[[int], float]
+
+    def __call__(self, n: int) -> float:
+        if n < 2:
+            raise ExperimentError(f"probability specs require n >= 2, got {n}")
+        return min(1.0, float(self.evaluate(n)))
+
+
+@dataclass(frozen=True)
+class RatioSpec:
+    """A named ``p/q`` ratio rule such as ``1.2·log₂²(n)`` (Figure 4 legends)."""
+
+    label: str
+    evaluate: Callable[[int], float]
+
+    def __call__(self, n: int) -> float:
+        if n < 2:
+            raise ExperimentError(f"ratio specs require n >= 2, got {n}")
+        value = float(self.evaluate(n))
+        if value <= 0:
+            raise ExperimentError(f"ratio spec {self.label!r} evaluated to {value}")
+        return value
+
+
+#: The probability rules appearing in Figures 2 and 3 (natural logarithm, as
+#: in the connectivity-threshold discussion of Section IV).
+PROBABILITY_SPECS: dict[str, ProbabilitySpec] = {
+    "2logn/n": ProbabilitySpec("2logn/n", lambda n: 2.0 * math.log(n) / n),
+    "2log2n/n": ProbabilitySpec("2log2n/n", lambda n: 2.0 * math.log(n) ** 2 / n),
+    "logn/n": ProbabilitySpec("logn/n", lambda n: math.log(n) / n),
+    "log2n/n": ProbabilitySpec("log2n/n", lambda n: math.log(n) ** 2 / n),
+    "0.1/n": ProbabilitySpec("0.1/n", lambda n: 0.1 / n),
+    "0.6/n": ProbabilitySpec("0.6/n", lambda n: 0.6 / n),
+}
+
+#: The p/q separation rules of Figure 4 (legend "p/q = 2·0.1·log²n" etc.).
+#: The logarithm base is 2, the more favourable reading for the small
+#: coefficients; see EXPERIMENTS.md for the discussion of this ambiguity.
+RATIO_SPECS: dict[str, RatioSpec] = {
+    "0.2log2^2(n)": RatioSpec("0.2log2^2(n)", lambda n: 0.2 * math.log2(n) ** 2),
+    "1.2log2^2(n)": RatioSpec("1.2log2^2(n)", lambda n: 1.2 * math.log2(n) ** 2),
+    "0.2log2(n)": RatioSpec("0.2log2(n)", lambda n: 0.2 * math.log2(n)),
+    "1.2log2(n)": RatioSpec("1.2log2(n)", lambda n: 1.2 * math.log2(n)),
+}

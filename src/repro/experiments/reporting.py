@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment tables.
+
+The benchmark harness and the CLI print each reproduced figure as an aligned
+text table (the closest analogue of the paper's plots that works in a
+terminal and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from .runner import ExperimentTable
+
+__all__ = ["format_table", "render_experiment"]
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Return an aligned text table for the given headers and string rows."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") if "." in f"{value:.4f}" else f"{value:.4f}"
+    return str(value)
+
+
+def render_experiment(table: ExperimentTable) -> str:
+    """Render an :class:`ExperimentTable` (title, description and aligned rows)."""
+    parameter_names, measurement_names = table.columns()
+    headers = parameter_names + measurement_names
+    rows = []
+    for row in table.rows:
+        cells = [
+            _format_value(row.parameters.get(name, "")) for name in parameter_names
+        ] + [
+            _format_value(row.measurements.get(name, float("nan")))
+            for name in measurement_names
+        ]
+        rows.append(cells)
+    body = format_table(headers, rows) if rows else "(no rows)"
+    return f"== {table.name} ==\n{table.description}\n{body}"

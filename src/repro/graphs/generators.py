@@ -1,0 +1,324 @@
+"""Random graph generators used by the paper's evaluation.
+
+The paper evaluates CDRW on two families of synthetic graphs:
+
+* the Erdős–Rényi random graph ``G(n, p)`` (Section I-B.1), used in Figure 2
+  to show that a single random graph is detected as one community, and
+* the symmetric planted partition model ``G(n, p, q)`` (PPM, a special case of
+  the stochastic block model) with ``r`` equal-sized blocks, used in
+  Figures 1, 3 and 4.
+
+We additionally provide the general (possibly asymmetric) stochastic block
+model with an arbitrary block connectivity matrix, and random regular graphs
+which are handy for validating the spectral bounds (Equations 1-2 of the
+paper) in tests.
+
+All generators are vectorised: edges of an ``G(n, p)`` block are sampled by
+drawing the number of edges from a binomial distribution and then sampling
+that many distinct vertex pairs, which is exact and much faster than testing
+each of the ``n(n-1)/2`` pairs individually for the sparse regimes the paper
+studies (``p = Θ(log n / n)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import GeneratorError
+from ..utils import as_rng
+from .graph import Graph
+from .partition import Partition
+
+__all__ = [
+    "gnp_random_graph",
+    "planted_partition_graph",
+    "stochastic_block_model_graph",
+    "random_regular_graph",
+    "PlantedPartition",
+    "connectivity_threshold",
+    "sparse_intra_probability",
+    "dense_intra_probability",
+]
+
+
+@dataclass(frozen=True)
+class PlantedPartition:
+    """A generated PPM/SBM graph bundled with its ground-truth partition.
+
+    Attributes
+    ----------
+    graph:
+        The generated :class:`~repro.graphs.graph.Graph`.
+    partition:
+        Ground-truth block membership as a :class:`~repro.graphs.partition.Partition`.
+    intra_probability:
+        The within-block edge probability ``p`` (``None`` for a general SBM
+        where blocks may use different probabilities).
+    inter_probability:
+        The between-block edge probability ``q`` (``None`` for a general SBM).
+    """
+
+    graph: Graph
+    partition: Partition
+    intra_probability: float | None
+    inter_probability: float | None
+
+    @property
+    def num_blocks(self) -> int:
+        """The number of ground-truth blocks ``r``."""
+        return self.partition.num_communities
+
+
+def connectivity_threshold(n: int) -> float:
+    """Return the ``G(n, p)`` connectivity threshold ``ln(n)/n``.
+
+    The paper repeatedly parameterises experiments relative to this threshold
+    (``p = c·log n / n`` with ``c > 1``).
+    """
+    if n < 2:
+        raise GeneratorError(f"connectivity threshold needs n >= 2, got {n}")
+    return math.log(n) / n
+
+
+def sparse_intra_probability(n: int, factor: float = 2.0) -> float:
+    """The paper's sparse setting ``p = factor · log(n)/n`` (default ``2 log n / n``)."""
+    return min(1.0, factor * connectivity_threshold(n))
+
+
+def dense_intra_probability(n: int, factor: float = 2.0) -> float:
+    """The paper's denser setting ``p = factor · log²(n)/n`` (default ``2 log² n / n``)."""
+    if n < 2:
+        raise GeneratorError(f"dense probability needs n >= 2, got {n}")
+    return min(1.0, factor * math.log(n) ** 2 / n)
+
+
+# ----------------------------------------------------------------------
+# Pair sampling helpers
+# ----------------------------------------------------------------------
+def _sample_within_block_edges(
+    block: np.ndarray, p: float, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Sample G(|block|, p) edges among the vertex IDs in ``block``."""
+    size = len(block)
+    total_pairs = size * (size - 1) // 2
+    if total_pairs == 0 or p <= 0.0:
+        return []
+    if p >= 1.0:
+        return [(int(block[i]), int(block[j])) for i in range(size) for j in range(i + 1, size)]
+    count = rng.binomial(total_pairs, p)
+    if count == 0:
+        return []
+    # Sample `count` distinct pair indices without replacement, then decode the
+    # linear index into an (i, j) pair with i < j.
+    chosen = rng.choice(total_pairs, size=count, replace=False)
+    i, j = _decode_pair_indices(chosen, size)
+    return list(zip(block[i].tolist(), block[j].tolist()))
+
+
+def _sample_between_block_edges(
+    block_a: np.ndarray, block_b: np.ndarray, q: float, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Sample bipartite edges between two disjoint blocks, each with probability q."""
+    total_pairs = len(block_a) * len(block_b)
+    if total_pairs == 0 or q <= 0.0:
+        return []
+    if q >= 1.0:
+        return [(int(u), int(v)) for u in block_a for v in block_b]
+    count = rng.binomial(total_pairs, q)
+    if count == 0:
+        return []
+    chosen = rng.choice(total_pairs, size=count, replace=False)
+    rows = chosen // len(block_b)
+    cols = chosen % len(block_b)
+    return list(zip(block_a[rows].tolist(), block_b[cols].tolist()))
+
+
+def _decode_pair_indices(linear: np.ndarray, size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Decode linear indices over the upper triangle of a ``size``×``size`` matrix.
+
+    Index ``k`` corresponds to the pair ``(i, j)`` with ``i < j`` in row-major
+    order of the strictly-upper triangle.
+    """
+    # Row i starts at offset i*size - i*(i+1)/2 - i ... solve with the quadratic formula.
+    linear = linear.astype(np.float64)
+    i = np.floor(
+        (2 * size - 1 - np.sqrt((2 * size - 1) ** 2 - 8 * linear)) / 2
+    ).astype(np.int64)
+    row_start = i * (size - 1) - i * (i - 1) // 2
+    j = (linear.astype(np.int64) - row_start) + i + 1
+    return i, j
+
+
+# ----------------------------------------------------------------------
+# Public generators
+# ----------------------------------------------------------------------
+def gnp_random_graph(
+    n: int,
+    p: float,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Generate an Erdős–Rényi random graph ``G(n, p)``.
+
+    Each of the ``n(n-1)/2`` possible edges is present independently with
+    probability ``p``.
+    """
+    _validate_probability("p", p)
+    if n < 0:
+        raise GeneratorError(f"number of vertices must be non-negative, got {n}")
+    rng = as_rng(seed)
+    vertices = np.arange(n, dtype=np.int64)
+    edges = _sample_within_block_edges(vertices, p, rng)
+    return Graph(n, edges)
+
+
+def planted_partition_graph(
+    n: int,
+    num_blocks: int,
+    p: float,
+    q: float,
+    seed: int | np.random.Generator | None = None,
+) -> PlantedPartition:
+    """Generate a symmetric planted partition graph ``G(n, p, q)`` with ``r`` blocks.
+
+    The vertex set is split into ``r = num_blocks`` consecutive blocks of equal
+    size ``n/r`` (``n`` must be divisible by ``r``).  Two vertices in the same
+    block are adjacent independently with probability ``p``; vertices in
+    different blocks are adjacent with probability ``q``.  This is exactly the
+    ``Gnpq`` benchmark of the paper (Section I-B.1).
+
+    Returns the graph together with the ground-truth :class:`Partition`.
+    """
+    _validate_probability("p", p)
+    _validate_probability("q", q)
+    if num_blocks < 1:
+        raise GeneratorError(f"number of blocks must be >= 1, got {num_blocks}")
+    if n < num_blocks:
+        raise GeneratorError(f"need at least one vertex per block: n={n}, r={num_blocks}")
+    if n % num_blocks != 0:
+        raise GeneratorError(
+            f"the symmetric PPM requires equal-size blocks: n={n} is not divisible by r={num_blocks}"
+        )
+    rng = as_rng(seed)
+    block_size = n // num_blocks
+    blocks = [
+        np.arange(i * block_size, (i + 1) * block_size, dtype=np.int64)
+        for i in range(num_blocks)
+    ]
+
+    edges: list[tuple[int, int]] = []
+    for block in blocks:
+        edges.extend(_sample_within_block_edges(block, p, rng))
+    for i in range(num_blocks):
+        for j in range(i + 1, num_blocks):
+            edges.extend(_sample_between_block_edges(blocks[i], blocks[j], q, rng))
+
+    graph = Graph(n, edges)
+    labels = np.repeat(np.arange(num_blocks, dtype=np.int64), block_size)
+    partition = Partition.from_labels(labels)
+    return PlantedPartition(
+        graph=graph, partition=partition, intra_probability=p, inter_probability=q
+    )
+
+
+def stochastic_block_model_graph(
+    block_sizes: list[int],
+    probability_matrix: np.ndarray | list[list[float]],
+    seed: int | np.random.Generator | None = None,
+) -> PlantedPartition:
+    """Generate a general stochastic block model graph.
+
+    Parameters
+    ----------
+    block_sizes:
+        Size of each block; blocks occupy consecutive vertex ranges.
+    probability_matrix:
+        Symmetric ``r × r`` matrix ``P`` where ``P[i][j]`` is the probability
+        of an edge between a vertex of block ``i`` and a vertex of block ``j``.
+    """
+    sizes = [int(s) for s in block_sizes]
+    if not sizes or any(s < 1 for s in sizes):
+        raise GeneratorError(f"block sizes must all be >= 1, got {block_sizes}")
+    matrix = np.asarray(probability_matrix, dtype=np.float64)
+    r = len(sizes)
+    if matrix.shape != (r, r):
+        raise GeneratorError(
+            f"probability matrix shape {matrix.shape} does not match {r} blocks"
+        )
+    if not np.allclose(matrix, matrix.T):
+        raise GeneratorError("probability matrix must be symmetric")
+    if matrix.min() < 0.0 or matrix.max() > 1.0:
+        raise GeneratorError("probabilities must lie in [0, 1]")
+
+    rng = as_rng(seed)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+    blocks = [np.arange(offsets[i], offsets[i + 1], dtype=np.int64) for i in range(r)]
+
+    edges: list[tuple[int, int]] = []
+    for i in range(r):
+        edges.extend(_sample_within_block_edges(blocks[i], float(matrix[i, i]), rng))
+        for j in range(i + 1, r):
+            edges.extend(_sample_between_block_edges(blocks[i], blocks[j], float(matrix[i, j]), rng))
+
+    graph = Graph(n, edges)
+    labels = np.concatenate(
+        [np.full(sizes[i], i, dtype=np.int64) for i in range(r)]
+    )
+    partition = Partition.from_labels(labels)
+    intra = float(matrix[0, 0]) if np.allclose(np.diag(matrix), matrix[0, 0]) else None
+    off_diagonal = matrix[~np.eye(r, dtype=bool)] if r > 1 else np.array([])
+    inter = (
+        float(off_diagonal[0])
+        if off_diagonal.size and np.allclose(off_diagonal, off_diagonal[0])
+        else None
+    )
+    return PlantedPartition(
+        graph=graph, partition=partition, intra_probability=intra, inter_probability=inter
+    )
+
+
+def random_regular_graph(
+    n: int,
+    degree: int,
+    seed: int | np.random.Generator | None = None,
+    max_attempts: int = 100,
+) -> Graph:
+    """Generate a random ``degree``-regular simple graph via the pairing model.
+
+    Random regular graphs are used by the paper's analysis (Equation 2 bounds
+    the second eigenvalue of a random d-regular graph); we use them in tests
+    to validate the spectral machinery.
+    """
+    if degree < 0 or degree >= n:
+        raise GeneratorError(f"degree must satisfy 0 <= d < n, got d={degree}, n={n}")
+    if (n * degree) % 2 != 0:
+        raise GeneratorError(f"n*degree must be even, got n={n}, d={degree}")
+    if degree == 0:
+        return Graph(n, [])
+
+    # The pairing (configuration) model with plain rejection sampling has a
+    # vanishing acceptance probability for non-trivial degrees, so we rely on
+    # networkx's implementation of the Steger–Wormald style generator, which
+    # repairs collisions instead of rejecting whole pairings.
+    import networkx as nx
+
+    rng = as_rng(seed)
+    last_error: Exception | None = None
+    for _ in range(max_attempts):
+        try:
+            nx_graph = nx.random_regular_graph(degree, n, seed=int(rng.integers(2**31 - 1)))
+            return Graph(n, nx_graph.edges())
+        except nx.NetworkXError as error:  # pragma: no cover - extremely rare
+            last_error = error
+    raise GeneratorError(
+        f"failed to generate a simple {degree}-regular graph on {n} vertices "
+        f"after {max_attempts} attempts: {last_error}"
+    )
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise GeneratorError(f"{name} must be a probability in [0, 1], got {value}")

@@ -1,0 +1,296 @@
+"""The static undirected graph used throughout the library.
+
+The CDRW algorithm and its analysis operate on simple undirected graphs
+(no self loops, no parallel edges).  :class:`Graph` stores the adjacency
+structure in a compressed sparse row (CSR) layout so that degree lookups,
+neighbour iteration and the sparse transition operator used by the random
+walk substrate are all cheap, while still exposing a convenient Pythonic
+interface (``graph.neighbors(u)``, ``graph.degree(u)``, ``u in graph`` ...).
+
+Vertices are always the integers ``0 .. n-1``; callers that need richer
+identifiers can keep their own mapping.  This matches both the CONGEST
+simulator (node IDs) and the k-machine random vertex partition (IDs are
+hashed to machines).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable, simple, undirected graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self loops are rejected; duplicate
+        edges (in either orientation) are collapsed.
+
+    Notes
+    -----
+    The class is intentionally immutable: the CDRW algorithm never modifies
+    its input graph, and immutability lets the transition operator, degree
+    vector and edge arrays be computed once and shared freely between the
+    centralized executor, the CONGEST simulator and the k-machine simulator.
+    """
+
+    __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges", "_adjacency_cache")
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]]):
+        if num_vertices < 0:
+            raise GraphError(f"number of vertices must be non-negative, got {num_vertices}")
+        self._n = int(num_vertices)
+
+        unique: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if u == v:
+                raise GraphError(f"self loops are not allowed (vertex {u})")
+            if not (0 <= u < self._n) or not (0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) out of range for a graph on {self._n} vertices"
+                )
+            unique.add((u, v) if u < v else (v, u))
+
+        self._num_edges = len(unique)
+        # Build CSR adjacency from the undirected edge set.
+        if unique:
+            edge_array = np.asarray(sorted(unique), dtype=np.int64)
+            sources = np.concatenate([edge_array[:, 0], edge_array[:, 1]])
+            targets = np.concatenate([edge_array[:, 1], edge_array[:, 0]])
+        else:
+            sources = np.empty(0, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
+
+        order = np.lexsort((targets, sources))
+        sources = sources[order]
+        targets = targets[order]
+        counts = np.bincount(sources, minlength=self._n)
+        self._degrees = counts.astype(np.int64)
+        self._indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._indices = targets
+        self._adjacency_cache: sp.csr_matrix | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_array(cls, num_vertices: int, edge_array: np.ndarray) -> "Graph":
+        """Build a graph from an ``(m, 2)`` numpy array of edges."""
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError(f"edge array must have shape (m, 2), got {edge_array.shape}")
+        return cls(num_vertices, (tuple(edge) for edge in edge_array.tolist()))
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Convert a :mod:`networkx` graph whose nodes are ``0..n-1``."""
+        nodes = sorted(nx_graph.nodes())
+        expected = list(range(len(nodes)))
+        if nodes != expected:
+            raise GraphError("networkx graph nodes must be exactly 0..n-1")
+        return cls(len(nodes), nx_graph.edges())
+
+    def to_networkx(self):
+        """Return a :class:`networkx.Graph` copy (for plotting / cross-checks)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._n))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """The number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """The number of undirected edges ``m``."""
+        return self._num_edges
+
+    @property
+    def volume(self) -> int:
+        """The volume of the full vertex set, ``µ(V) = 2m``."""
+        return 2 * self._num_edges
+
+    def vertices(self) -> range:
+        """Return the vertex range ``0..n-1``."""
+        return range(self._n)
+
+    def degree(self, vertex: int) -> int:
+        """Return the degree ``d(v)`` of ``vertex``."""
+        self._check_vertex(vertex)
+        return int(self._degrees[vertex])
+
+    def degrees(self) -> np.ndarray:
+        """Return the degree vector as a read-only numpy array."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def max_degree(self) -> int:
+        """Return the maximum degree ``Δ`` (0 for an empty graph)."""
+        if self._n == 0:
+            return 0
+        return int(self._degrees.max())
+
+    def min_degree(self) -> int:
+        """Return the minimum degree (0 for an empty graph)."""
+        if self._n == 0:
+            return 0
+        return int(self._degrees.min())
+
+    def average_degree(self) -> float:
+        """Return the average degree ``2m / n`` (0 for an empty graph)."""
+        if self._n == 0:
+            return 0.0
+        return self.volume / self._n
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Return the sorted neighbour array of ``vertex`` (read-only view)."""
+        self._check_vertex(vertex)
+        view = self._indices[self._indptr[vertex]:self._indptr[vertex + 1]]
+        view = view.view()
+        view.flags.writeable = False
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the undirected edge ``(u, v)`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        neighbors = self._indices[self._indptr[u]:self._indptr[u + 1]]
+        position = np.searchsorted(neighbors, v)
+        return position < len(neighbors) and neighbors[position] == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self._indices[self._indptr[u]:self._indptr[u + 1]]:
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """Return all undirected edges as an ``(m, 2)`` array with ``u < v`` rows."""
+        if self._num_edges == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(list(self.edges()), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Return the sparse adjacency matrix ``A`` (cached)."""
+        if self._adjacency_cache is None:
+            data = np.ones(len(self._indices), dtype=np.float64)
+            self._adjacency_cache = sp.csr_matrix(
+                (data, self._indices, self._indptr), shape=(self._n, self._n)
+            )
+        return self._adjacency_cache
+
+    # ------------------------------------------------------------------
+    # Set operations used by the analysis
+    # ------------------------------------------------------------------
+    def subset_volume(self, subset: Iterable[int]) -> int:
+        """Return ``µ(S) = Σ_{v ∈ S} d(v)`` for the vertex subset ``S``."""
+        indices = self._as_index_array(subset)
+        return int(self._degrees[indices].sum())
+
+    def cut_size(self, subset: Iterable[int]) -> int:
+        """Return ``|E(S, V\\S)|`` — the number of edges leaving ``subset``."""
+        indices = self._as_index_array(subset)
+        membership = np.zeros(self._n, dtype=bool)
+        membership[indices] = True
+        if not membership.any() or membership.all():
+            return 0
+        # For every directed arc (u -> v) with u in S, count arcs whose head
+        # is outside S.  Each undirected cut edge is counted exactly once.
+        cut = 0
+        for u in indices:
+            neighbors = self._indices[self._indptr[u]:self._indptr[u + 1]]
+            cut += int(np.count_nonzero(~membership[neighbors]))
+        return cut
+
+    def induced_edge_count(self, subset: Iterable[int]) -> int:
+        """Return the number of edges with both endpoints in ``subset``."""
+        indices = self._as_index_array(subset)
+        membership = np.zeros(self._n, dtype=bool)
+        membership[indices] = True
+        inside_arcs = 0
+        for u in indices:
+            neighbors = self._indices[self._indptr[u]:self._indptr[u + 1]]
+            inside_arcs += int(np.count_nonzero(membership[neighbors]))
+        return inside_arcs // 2
+
+    def induced_subgraph(self, subset: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+        """Return the subgraph induced by ``subset`` and the old→new vertex map."""
+        indices = self._as_index_array(subset)
+        mapping = {int(old): new for new, old in enumerate(indices)}
+        membership = np.zeros(self._n, dtype=bool)
+        membership[indices] = True
+        edges = []
+        for old_u in indices:
+            new_u = mapping[int(old_u)]
+            neighbors = self._indices[self._indptr[old_u]:self._indptr[old_u + 1]]
+            for old_v in neighbors[membership[neighbors]]:
+                if int(old_u) < int(old_v):
+                    edges.append((new_u, mapping[int(old_v)]))
+        return Graph(len(indices), edges), mapping
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: int) -> bool:
+        return isinstance(vertex, (int, np.integer)) and 0 <= int(vertex) < self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._num_edges == other._num_edges
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is sufficient
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._num_edges})"
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= int(vertex) < self._n):
+            raise GraphError(f"vertex {vertex} out of range for a graph on {self._n} vertices")
+
+    def _as_index_array(self, subset: Iterable[int]) -> np.ndarray:
+        indices = np.fromiter((int(v) for v in subset), dtype=np.int64)
+        if len(indices) == 0:
+            return indices
+        if indices.min() < 0 or indices.max() >= self._n:
+            raise GraphError("subset contains vertices outside the graph")
+        if len(np.unique(indices)) != len(indices):
+            raise GraphError("subset contains duplicate vertices")
+        return indices

@@ -1,0 +1,134 @@
+"""Reading and writing graphs and partitions.
+
+Two interchange formats are supported:
+
+* a plain **edge list** text format (one ``u v`` pair per line, ``#`` comments,
+  with an optional header recording the vertex count so isolated vertices are
+  preserved), and
+* a **JSON** document bundling a graph with an optional ground-truth partition
+  and generator metadata, which is what the experiment harness uses to cache
+  generated PPM instances between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import Graph
+from .partition import Partition
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+    "write_graph_json",
+    "read_graph_json",
+]
+
+_HEADER_PREFIX = "# vertices:"
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` as an edge list with a vertex-count header."""
+    path = Path(path)
+    lines = [f"{_HEADER_PREFIX} {graph.num_vertices}"]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> Graph:
+    """Read an edge list written by :func:`write_edge_list` (or any ``u v`` file).
+
+    ``num_vertices`` overrides the header / inferred vertex count; when absent
+    and no header is present, the count is ``max vertex id + 1``.
+    """
+    path = Path(path)
+    edges: list[tuple[int, int]] = []
+    header_vertices: int | None = None
+    for line_number, raw_line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(_HEADER_PREFIX):
+            header_vertices = int(line[len(_HEADER_PREFIX):].strip())
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"{path}:{line_number}: expected 'u v', got {raw_line!r}")
+        edges.append((int(parts[0]), int(parts[1])))
+
+    if num_vertices is None:
+        if header_vertices is not None:
+            num_vertices = header_vertices
+        elif edges:
+            num_vertices = max(max(u, v) for u, v in edges) + 1
+        else:
+            num_vertices = 0
+    return Graph(num_vertices, edges)
+
+
+def graph_to_dict(
+    graph: Graph,
+    partition: Partition | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Serialize a graph (and optional partition / metadata) to plain Python types."""
+    document: dict[str, Any] = {
+        "num_vertices": graph.num_vertices,
+        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+    }
+    if partition is not None:
+        if partition.num_vertices != graph.num_vertices:
+            raise GraphError(
+                "partition covers a different vertex count than the graph "
+                f"({partition.num_vertices} vs {graph.num_vertices})"
+            )
+        document["partition"] = [int(label) for label in partition.labels]
+    if metadata is not None:
+        document["metadata"] = metadata
+    return document
+
+
+def graph_from_dict(document: dict[str, Any]) -> tuple[Graph, Partition | None, dict[str, Any]]:
+    """Inverse of :func:`graph_to_dict`; returns ``(graph, partition, metadata)``."""
+    try:
+        num_vertices = int(document["num_vertices"])
+        edges = [(int(u), int(v)) for u, v in document["edges"]]
+    except (KeyError, TypeError, ValueError) as error:
+        raise GraphError(f"malformed graph document: {error}") from error
+    graph = Graph(num_vertices, edges)
+    partition = None
+    if "partition" in document and document["partition"] is not None:
+        labels = np.asarray(document["partition"], dtype=np.int64)
+        if len(labels) != num_vertices:
+            raise GraphError(
+                f"partition length {len(labels)} does not match vertex count {num_vertices}"
+            )
+        partition = Partition.from_labels(labels)
+    metadata = dict(document.get("metadata", {}))
+    return graph, partition, metadata
+
+
+def write_graph_json(
+    path: str | Path,
+    graph: Graph,
+    partition: Partition | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Write a graph bundle to a JSON file."""
+    document = graph_to_dict(graph, partition=partition, metadata=metadata)
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def read_graph_json(path: str | Path) -> tuple[Graph, Partition | None, dict[str, Any]]:
+    """Read a graph bundle written by :func:`write_graph_json`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return graph_from_dict(document)

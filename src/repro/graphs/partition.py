@@ -1,0 +1,235 @@
+"""Vertex partitions: ground-truth communities and detected communities.
+
+The paper's accuracy metrics (precision, recall, F-score — Section IV) are
+defined against the ground-truth blocks of the planted partition model, while
+the CDRW algorithm emits a set of detected communities one seed at a time.
+:class:`Partition` represents a *disjoint* labelling of (a subset of) the
+vertex set and supports both roles:
+
+* ground truth: every vertex belongs to exactly one block, and
+* detected output: communities are disjoint by construction of Algorithm 1
+  (each detected community is removed from the ``pool``), but — because a
+  detected community can spill across ground-truth boundaries — a vertex may
+  end up unassigned or assigned to a community seeded from a different block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import PartitionError
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """A disjoint assignment of vertices to communities.
+
+    A partition is stored as a label vector over ``0..n-1`` where the label
+    ``-1`` means "unassigned".  Community IDs are normalised to ``0..k-1`` in
+    first-appearance order.
+    """
+
+    __slots__ = ("_labels", "_communities")
+
+    UNASSIGNED = -1
+
+    def __init__(self, labels: Sequence[int] | np.ndarray):
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise PartitionError(f"labels must be a 1-D sequence, got shape {labels.shape}")
+        if len(labels) and labels.min() < -1:
+            raise PartitionError("labels must be >= -1 (-1 marks unassigned vertices)")
+        self._labels = self._normalise(labels)
+        self._communities = self._build_communities(self._labels)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_labels(cls, labels: Sequence[int] | np.ndarray) -> "Partition":
+        """Build a partition from a per-vertex label vector."""
+        return cls(labels)
+
+    @classmethod
+    def from_communities(
+        cls, communities: Iterable[Iterable[int]], num_vertices: int
+    ) -> "Partition":
+        """Build a partition from explicit vertex sets.
+
+        The sets must be pairwise disjoint; vertices not contained in any set
+        are left unassigned.
+        """
+        labels = np.full(num_vertices, cls.UNASSIGNED, dtype=np.int64)
+        for community_id, community in enumerate(communities):
+            for vertex in community:
+                vertex = int(vertex)
+                if not (0 <= vertex < num_vertices):
+                    raise PartitionError(
+                        f"vertex {vertex} out of range for {num_vertices} vertices"
+                    )
+                if labels[vertex] != cls.UNASSIGNED:
+                    raise PartitionError(
+                        f"vertex {vertex} appears in more than one community"
+                    )
+                labels[vertex] = community_id
+        return cls(labels)
+
+    @classmethod
+    def singletons(cls, num_vertices: int) -> "Partition":
+        """Return the partition where every vertex is its own community."""
+        return cls(np.arange(num_vertices, dtype=np.int64))
+
+    @classmethod
+    def single_community(cls, num_vertices: int) -> "Partition":
+        """Return the partition with all vertices in one community."""
+        return cls(np.zeros(num_vertices, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the label vector (assigned or not)."""
+        return len(self._labels)
+
+    @property
+    def num_communities(self) -> int:
+        """Number of non-empty communities."""
+        return len(self._communities)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The per-vertex label vector (read-only view, ``-1`` = unassigned)."""
+        view = self._labels.view()
+        view.flags.writeable = False
+        return view
+
+    def communities(self) -> list[frozenset[int]]:
+        """Return the list of communities as frozensets, ordered by community ID."""
+        return list(self._communities)
+
+    def community_of(self, vertex: int) -> int:
+        """Return the community ID of ``vertex`` (``-1`` when unassigned)."""
+        self._check_vertex(vertex)
+        return int(self._labels[vertex])
+
+    def members(self, community_id: int) -> frozenset[int]:
+        """Return the vertex set of community ``community_id``."""
+        if not (0 <= community_id < len(self._communities)):
+            raise PartitionError(
+                f"community {community_id} does not exist (have {len(self._communities)})"
+            )
+        return self._communities[community_id]
+
+    def community_containing(self, vertex: int) -> frozenset[int]:
+        """Return the vertex set of the community containing ``vertex``.
+
+        Raises :class:`PartitionError` when the vertex is unassigned.
+        """
+        label = self.community_of(vertex)
+        if label == self.UNASSIGNED:
+            raise PartitionError(f"vertex {vertex} is not assigned to any community")
+        return self._communities[label]
+
+    def sizes(self) -> list[int]:
+        """Return the community sizes ordered by community ID."""
+        return [len(c) for c in self._communities]
+
+    def assigned_vertices(self) -> np.ndarray:
+        """Return the sorted array of vertices that belong to some community."""
+        return np.flatnonzero(self._labels != self.UNASSIGNED)
+
+    def unassigned_vertices(self) -> np.ndarray:
+        """Return the sorted array of vertices not assigned to any community."""
+        return np.flatnonzero(self._labels == self.UNASSIGNED)
+
+    def is_complete(self) -> bool:
+        """Return ``True`` when every vertex is assigned to a community."""
+        return bool(np.all(self._labels != self.UNASSIGNED))
+
+    def as_membership_dict(self) -> dict[int, int]:
+        """Return ``{vertex: community_id}`` for all assigned vertices."""
+        return {
+            int(v): int(self._labels[v])
+            for v in np.flatnonzero(self._labels != self.UNASSIGNED)
+        }
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def agrees_with(self, other: "Partition") -> bool:
+        """Return ``True`` when both partitions induce the same vertex grouping.
+
+        Community IDs are allowed to differ; only the grouping matters.
+        """
+        if self.num_vertices != other.num_vertices:
+            return False
+        return set(self._communities) == set(other._communities) and np.array_equal(
+            self._labels == self.UNASSIGNED, other._labels == other.UNASSIGNED
+        )
+
+    def restricted_to(self, vertices: Iterable[int]) -> "Partition":
+        """Return a copy where only ``vertices`` keep their assignment."""
+        keep = np.zeros(self.num_vertices, dtype=bool)
+        for vertex in vertices:
+            self._check_vertex(int(vertex))
+            keep[int(vertex)] = True
+        labels = np.where(keep, self._labels, self.UNASSIGNED)
+        return Partition(labels)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        return iter(self._communities)
+
+    def __len__(self) -> int:
+        return len(self._communities)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return np.array_equal(self._labels, other._labels)
+
+    def __hash__(self) -> int:
+        return hash(self._labels.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(n={self.num_vertices}, communities={self.num_communities}, "
+            f"sizes={self.sizes()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(labels: np.ndarray) -> np.ndarray:
+        """Renumber community IDs to 0..k-1 in order of first appearance."""
+        normalised = np.full(len(labels), Partition.UNASSIGNED, dtype=np.int64)
+        mapping: dict[int, int] = {}
+        for index, label in enumerate(labels.tolist()):
+            if label == Partition.UNASSIGNED:
+                continue
+            if label not in mapping:
+                mapping[label] = len(mapping)
+            normalised[index] = mapping[label]
+        return normalised
+
+    @staticmethod
+    def _build_communities(labels: np.ndarray) -> list[frozenset[int]]:
+        count = int(labels.max()) + 1 if len(labels) and labels.max() >= 0 else 0
+        members: list[list[int]] = [[] for _ in range(count)]
+        for vertex, label in enumerate(labels.tolist()):
+            if label != Partition.UNASSIGNED:
+                members[label].append(vertex)
+        return [frozenset(m) for m in members]
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= int(vertex) < self.num_vertices):
+            raise PartitionError(
+                f"vertex {vertex} out of range for {self.num_vertices} vertices"
+            )

@@ -1,0 +1,199 @@
+"""Graph traversal primitives: BFS, balls, connected components and diameter.
+
+The CDRW analysis (Lemma 1) reasons about the ball ``B_ℓ`` of radius ``ℓ``
+around the seed vertex — the set of vertices within hop distance ``ℓ`` — and
+the distributed algorithm builds a BFS tree of depth ``O(log n)`` rooted at
+the seed (Algorithm 1, line 5).  These are the shared-memory counterparts of
+the distributed BFS in :mod:`repro.congest.bfs`; integration tests assert
+that both produce the same depth labelling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import Graph
+
+__all__ = [
+    "BFSResult",
+    "bfs_tree",
+    "ball",
+    "ball_sizes",
+    "connected_components",
+    "is_connected",
+    "eccentricity",
+    "diameter",
+    "shortest_path_length",
+]
+
+UNREACHED = -1
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """The outcome of a breadth-first search from a root vertex.
+
+    Attributes
+    ----------
+    root:
+        The BFS root.
+    distances:
+        Hop distance from the root per vertex (``-1`` for unreachable vertices).
+    parents:
+        BFS-tree parent per vertex (``-1`` for the root and unreachable vertices).
+    max_depth:
+        Depth cap the search was run with (``None`` = unbounded).
+    """
+
+    root: int
+    distances: np.ndarray
+    parents: np.ndarray
+    max_depth: int | None
+
+    def reached(self) -> np.ndarray:
+        """Return the sorted array of vertices reached by the search."""
+        return np.flatnonzero(self.distances != UNREACHED)
+
+    def depth(self) -> int:
+        """Return the depth of the BFS tree (0 when only the root was reached)."""
+        reached = self.distances[self.distances != UNREACHED]
+        return int(reached.max()) if len(reached) else 0
+
+    def children(self) -> dict[int, list[int]]:
+        """Return the tree as a parent -> children adjacency dictionary."""
+        tree: dict[int, list[int]] = {}
+        for vertex, parent in enumerate(self.parents.tolist()):
+            if parent != UNREACHED:
+                tree.setdefault(parent, []).append(vertex)
+        return tree
+
+    def subtree_order(self) -> list[int]:
+        """Return the reached vertices in non-decreasing distance order.
+
+        This is the order in which a convergecast proceeds bottom-up (reversed)
+        and a broadcast proceeds top-down.
+        """
+        reached = self.reached()
+        return sorted(reached.tolist(), key=lambda v: int(self.distances[v]))
+
+
+def bfs_tree(graph: Graph, root: int, max_depth: int | None = None) -> BFSResult:
+    """Run a breadth-first search from ``root``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    root:
+        Starting vertex.
+    max_depth:
+        Optional depth cap.  Algorithm 1 builds a BFS tree of depth
+        ``O(log n)`` from the seed; pass that cap here to mirror it.
+    """
+    if root not in graph:
+        raise GraphError(f"root {root} is not a vertex of {graph!r}")
+    if max_depth is not None and max_depth < 0:
+        raise GraphError(f"max_depth must be non-negative, got {max_depth}")
+
+    n = graph.num_vertices
+    distances = np.full(n, UNREACHED, dtype=np.int64)
+    parents = np.full(n, UNREACHED, dtype=np.int64)
+    distances[root] = 0
+    queue: deque[int] = deque([root])
+    while queue:
+        current = queue.popleft()
+        current_distance = int(distances[current])
+        if max_depth is not None and current_distance >= max_depth:
+            continue
+        for neighbor in graph.neighbors(current):
+            neighbor = int(neighbor)
+            if distances[neighbor] == UNREACHED:
+                distances[neighbor] = current_distance + 1
+                parents[neighbor] = current
+                queue.append(neighbor)
+    return BFSResult(root=root, distances=distances, parents=parents, max_depth=max_depth)
+
+
+def ball(graph: Graph, center: int, radius: int) -> frozenset[int]:
+    """Return the ball ``B_radius(center)`` — vertices within hop distance ``radius``.
+
+    Lemma 1 of the paper shows that, before mixing, the largest local mixing
+    set of an ``ℓ``-step walk on ``G(n, p)`` is the ball ``B_{⌊ℓ/2⌋}``.
+    """
+    if radius < 0:
+        raise GraphError(f"radius must be non-negative, got {radius}")
+    result = bfs_tree(graph, center, max_depth=radius)
+    return frozenset(int(v) for v in result.reached())
+
+
+def ball_sizes(graph: Graph, center: int, max_radius: int) -> list[int]:
+    """Return ``[|B_0|, |B_1|, ..., |B_max_radius|]`` around ``center``."""
+    if max_radius < 0:
+        raise GraphError(f"max_radius must be non-negative, got {max_radius}")
+    result = bfs_tree(graph, center, max_depth=max_radius)
+    distances = result.distances[result.distances != UNREACHED]
+    counts = np.bincount(distances, minlength=max_radius + 1)
+    return np.cumsum(counts[:max_radius + 1]).tolist()
+
+
+def connected_components(graph: Graph) -> list[frozenset[int]]:
+    """Return the connected components, largest first."""
+    n = graph.num_vertices
+    seen = np.zeros(n, dtype=bool)
+    components: list[frozenset[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        result = bfs_tree(graph, start)
+        members = result.reached()
+        seen[members] = True
+        components.append(frozenset(int(v) for v in members))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` when the graph is connected (the empty graph is connected)."""
+    if graph.num_vertices <= 1:
+        return True
+    result = bfs_tree(graph, 0)
+    return len(result.reached()) == graph.num_vertices
+
+
+def eccentricity(graph: Graph, vertex: int) -> int:
+    """Return the eccentricity of ``vertex`` within its connected component."""
+    result = bfs_tree(graph, vertex)
+    return result.depth()
+
+
+def diameter(graph: Graph, sample_size: int | None = None, seed: int | None = None) -> int:
+    """Return the diameter of the graph (largest eccentricity).
+
+    For large graphs an exact diameter costs ``O(nm)``; pass ``sample_size``
+    to estimate it from BFS runs at randomly sampled vertices (a lower bound).
+    Raises :class:`GraphError` on disconnected graphs because hop distance is
+    then undefined between components.
+    """
+    if graph.num_vertices == 0:
+        return 0
+    if not is_connected(graph):
+        raise GraphError("diameter is undefined for disconnected graphs")
+    if sample_size is None or sample_size >= graph.num_vertices:
+        candidates: Iterable[int] = range(graph.num_vertices)
+    else:
+        rng = np.random.default_rng(seed)
+        candidates = rng.choice(graph.num_vertices, size=sample_size, replace=False).tolist()
+    return max(eccentricity(graph, int(v)) for v in candidates)
+
+
+def shortest_path_length(graph: Graph, source: int, target: int) -> int:
+    """Return the hop distance between two vertices (-1 if unreachable)."""
+    result = bfs_tree(graph, source)
+    if target not in graph:
+        raise GraphError(f"target {target} is not a vertex of {graph!r}")
+    return int(result.distances[target])

@@ -1,0 +1,90 @@
+"""The Conversion Theorem: predicting k-machine complexity from CONGEST complexity.
+
+Part (a) of the Conversion Theorem of Klauck et al. (SODA 2015) states that a
+CONGEST algorithm using ``M`` messages and ``T`` rounds on a graph of maximum
+degree ``Δ`` can be simulated in the k-machine model (under the random vertex
+partition) in
+
+``Õ(M / k² + Δ·T / k)``
+
+rounds with high probability.  Section III-B of the paper plugs CDRW's
+CONGEST complexity into this bound to obtain
+``Õ((n²/k² + n/(kr)) (p + q(r−1)))`` rounds, which scales as ``k^{-2}`` for
+sparse graphs (the message term dominates) and as ``k^{-1}`` in general (the
+``ΔT/k`` term dominates).
+
+The functions here evaluate the bound so experiments can compare the
+simulator's measured round counts against the theoretical scaling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import MachineError
+
+__all__ = [
+    "conversion_theorem_rounds",
+    "cdrw_kmachine_round_bound",
+    "dominant_term",
+]
+
+
+def conversion_theorem_rounds(
+    messages: float,
+    rounds: float,
+    max_degree: float,
+    num_machines: int,
+    include_polylog: bool = False,
+    n: int | None = None,
+) -> float:
+    """Evaluate ``M/k² + Δ·T/k`` (optionally times a ``log n`` factor).
+
+    Parameters
+    ----------
+    messages, rounds:
+        The CONGEST message and round complexity ``M`` and ``T``.
+    max_degree:
+        The maximum degree ``Δ`` of the input graph.
+    num_machines:
+        Number of machines ``k``.
+    include_polylog:
+        Multiply by ``log n`` (requires ``n``) to include the Õ factor.
+    """
+    if num_machines < 1:
+        raise MachineError(f"number of machines must be >= 1, got {num_machines}")
+    if messages < 0 or rounds < 0 or max_degree < 0:
+        raise MachineError("messages, rounds and max_degree must be non-negative")
+    value = messages / num_machines**2 + max_degree * rounds / num_machines
+    if include_polylog:
+        if n is None or n < 2:
+            raise MachineError("include_polylog requires the graph size n >= 2")
+        value *= math.log(n)
+    return value
+
+
+def cdrw_kmachine_round_bound(n: int, r: int, p: float, q: float, num_machines: int) -> float:
+    """The paper's closed-form k-machine bound ``(n²/k² + n/(kr))(p + q(r−1))``.
+
+    Constants and polylog factors are omitted, as in Section III-B.
+    """
+    if n < 2 or r < 1 or n % r != 0:
+        raise MachineError(f"invalid PPM shape n={n}, r={r}")
+    if num_machines < 1:
+        raise MachineError(f"number of machines must be >= 1, got {num_machines}")
+    mixing = p + q * (r - 1)
+    return (n * n / num_machines**2 + n / (num_machines * r)) * mixing
+
+
+def dominant_term(
+    messages: float, rounds: float, max_degree: float, num_machines: int
+) -> str:
+    """Return which Conversion-Theorem term dominates: ``"messages"`` or ``"degree"``.
+
+    ``"messages"`` (the ``M/k²`` term) dominating is the regime where the
+    round complexity scales quadratically in ``1/k``; ``"degree"`` (the
+    ``ΔT/k`` term) gives the linear ``1/k`` scaling.
+    """
+    message_term = messages / num_machines**2
+    degree_term = max_degree * rounds / num_machines
+    return "messages" if message_term >= degree_term else "degree"

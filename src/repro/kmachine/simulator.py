@@ -1,0 +1,163 @@
+"""The k-machine model simulator.
+
+The k-machine model connects ``k`` machines pairwise by links of bandwidth
+``B`` bits (``B = Θ(log n)``, i.e. a constant number of machine words) per
+round.  A CONGEST algorithm is simulated on it in the standard way (the
+Conversion Theorem of Klauck et al.): the home machine of vertex ``u``
+executes ``u``'s code, and a CONGEST message from ``u`` to ``v`` becomes an
+inter-machine message from ``home(u)`` to ``home(v)`` — or free local work
+when both endpoints live on the same machine.
+
+:class:`KMachineNetwork` performs exactly this accounting:
+:meth:`KMachineNetwork.route_congest_round` takes the multiset of vertex-to-
+vertex messages of one CONGEST round, bins them by (source machine, target
+machine) link, and charges ``⌈max link load / bandwidth⌉`` k-machine rounds —
+the number of rounds needed to drain the most congested link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MachineError
+from .partition import RandomVertexPartition
+
+__all__ = ["KMachineNetwork", "KMachineCost"]
+
+#: How many CONGEST messages (each O(log n) bits) fit into one k-machine link
+#: per round.  The model sets the link bandwidth to B = O(log n) bits, i.e. a
+#: constant number of messages; 1 is the standard (most conservative) choice.
+DEFAULT_LINK_BANDWIDTH_MESSAGES: int = 1
+
+
+@dataclass(frozen=True)
+class KMachineCost:
+    """Complexity counters of a k-machine simulation.
+
+    Attributes
+    ----------
+    rounds:
+        Total k-machine communication rounds.
+    inter_machine_messages:
+        Messages that actually crossed a machine boundary.
+    local_messages:
+        CONGEST messages whose endpoints shared a home machine (free).
+    congest_rounds_routed:
+        Number of CONGEST rounds that were simulated.
+    """
+
+    rounds: int
+    inter_machine_messages: int
+    local_messages: int
+    congest_rounds_routed: int
+
+
+class KMachineNetwork:
+    """Accounting simulator for running CONGEST algorithms on k machines."""
+
+    def __init__(
+        self,
+        partition: RandomVertexPartition,
+        bandwidth_messages: int = DEFAULT_LINK_BANDWIDTH_MESSAGES,
+    ):
+        if bandwidth_messages < 1:
+            raise MachineError(f"link bandwidth must be >= 1 message, got {bandwidth_messages}")
+        self._partition = partition
+        self._bandwidth = int(bandwidth_messages)
+        self._rounds = 0
+        self._inter_messages = 0
+        self._local_messages = 0
+        self._congest_rounds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> RandomVertexPartition:
+        """The vertex-to-machine assignment being simulated."""
+        return self._partition
+
+    @property
+    def num_machines(self) -> int:
+        """The number of machines ``k``."""
+        return self._partition.num_machines
+
+    @property
+    def bandwidth_messages(self) -> int:
+        """Messages per link per round."""
+        return self._bandwidth
+
+    def cost(self) -> KMachineCost:
+        """Return a snapshot of the cost counters."""
+        return KMachineCost(
+            rounds=self._rounds,
+            inter_machine_messages=self._inter_messages,
+            local_messages=self._local_messages,
+            congest_rounds_routed=self._congest_rounds,
+        )
+
+    def reset(self) -> None:
+        """Zero the counters (the partition is kept)."""
+        self._rounds = 0
+        self._inter_messages = 0
+        self._local_messages = 0
+        self._congest_rounds = 0
+
+    # ------------------------------------------------------------------
+    def link_loads(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, int, int]:
+        """Return the per-link load matrix for a batch of vertex-to-vertex messages.
+
+        Returns ``(loads, inter, local)`` where ``loads[i, j]`` is the number
+        of messages from machine ``i`` to machine ``j`` (``i ≠ j``).
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise MachineError(
+                f"sources and targets must have matching shapes, got {sources.shape} "
+                f"and {targets.shape}"
+            )
+        assignment = self._partition.assignment
+        k = self.num_machines
+        source_machines = assignment[sources]
+        target_machines = assignment[targets]
+        cross = source_machines != target_machines
+        loads = np.zeros((k, k), dtype=np.int64)
+        if cross.any():
+            np.add.at(loads, (source_machines[cross], target_machines[cross]), 1)
+        inter = int(cross.sum())
+        local = int(len(sources) - inter)
+        return loads, inter, local
+
+    def rounds_for_loads(self, loads: np.ndarray) -> int:
+        """Return the k-machine rounds needed to deliver the given link loads."""
+        if loads.size == 0:
+            return 0
+        heaviest = int(loads.max())
+        if heaviest == 0:
+            return 0
+        return int(np.ceil(heaviest / self._bandwidth))
+
+    def route_congest_round(
+        self, sources: np.ndarray, targets: np.ndarray, repeat: int = 1
+    ) -> int:
+        """Simulate ``repeat`` CONGEST rounds that each send the given messages.
+
+        Returns the number of k-machine rounds charged.  ``repeat > 1`` is a
+        convenience for phases (e.g. the tree broadcast/convergecast passes of
+        the mixing-set selection) that send the same message pattern many
+        times; the loads are computed once.
+        """
+        if repeat < 0:
+            raise MachineError(f"repeat must be >= 0, got {repeat}")
+        if repeat == 0:
+            return 0
+        loads, inter, local = self.link_loads(sources, targets)
+        per_round = self.rounds_for_loads(loads)
+        self._rounds += per_round * repeat
+        self._inter_messages += inter * repeat
+        self._local_messages += local * repeat
+        self._congest_rounds += repeat
+        return per_round * repeat

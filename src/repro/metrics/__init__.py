@@ -1,0 +1,45 @@
+"""Accuracy and quality metrics for detected communities."""
+
+from .scores import (
+    CommunityScore,
+    average_f_score,
+    community_f_score,
+    community_precision,
+    community_recall,
+    partition_average_f_score,
+    score_community,
+    score_detection,
+)
+from .clustering import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    purity,
+)
+from .graph_quality import (
+    CommunityQuality,
+    community_quality,
+    detected_modularity,
+    intra_edge_fraction,
+    partition_quality,
+)
+
+__all__ = [
+    "CommunityScore",
+    "average_f_score",
+    "community_f_score",
+    "community_precision",
+    "community_recall",
+    "partition_average_f_score",
+    "score_community",
+    "score_detection",
+    "adjusted_rand_index",
+    "contingency_table",
+    "normalized_mutual_information",
+    "purity",
+    "CommunityQuality",
+    "community_quality",
+    "detected_modularity",
+    "intra_edge_fraction",
+    "partition_quality",
+]

@@ -1,0 +1,90 @@
+"""Graph-structural quality measures of a detected community structure.
+
+Orthogonal to the ground-truth-based metrics, these quantify how "community
+like" the detected sets are on the graph itself — the properties the paper's
+introduction uses to motivate communities: low conductance cuts and high
+modularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import MetricError
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..graphs.properties import conductance, modularity
+
+__all__ = [
+    "CommunityQuality",
+    "community_quality",
+    "partition_quality",
+    "detected_modularity",
+    "intra_edge_fraction",
+]
+
+
+@dataclass(frozen=True)
+class CommunityQuality:
+    """Structural quality of one vertex set viewed as a community.
+
+    Attributes
+    ----------
+    size:
+        Number of vertices in the set.
+    conductance:
+        ``φ(S)``; low values indicate a community-like sparse cut.
+    internal_edges, cut_edges:
+        Raw edge counts inside the set and leaving it.
+    internal_density:
+        ``internal_edges / C(size, 2)`` — how close the set is to a clique.
+    """
+
+    size: int
+    conductance: float
+    internal_edges: int
+    cut_edges: int
+    internal_density: float
+
+
+def community_quality(graph: Graph, community: Iterable[int]) -> CommunityQuality:
+    """Return the structural quality of one detected community."""
+    members = sorted(set(int(v) for v in community))
+    if not members:
+        raise MetricError("cannot evaluate the quality of an empty community")
+    internal = graph.induced_edge_count(members)
+    cut = graph.cut_size(members)
+    size = len(members)
+    possible = size * (size - 1) / 2.0
+    density = internal / possible if possible > 0 else 0.0
+    return CommunityQuality(
+        size=size,
+        conductance=conductance(graph, members),
+        internal_edges=internal,
+        cut_edges=cut,
+        internal_density=density,
+    )
+
+
+def partition_quality(graph: Graph, partition: Partition) -> list[CommunityQuality]:
+    """Return per-community structural quality for every community of a partition."""
+    return [community_quality(graph, community) for community in partition.communities()]
+
+
+def detected_modularity(graph: Graph, partition: Partition) -> float:
+    """Newman–Girvan modularity of a detected (disjoint) partition."""
+    return modularity(graph, partition)
+
+
+def intra_edge_fraction(graph: Graph, partition: Partition) -> float:
+    """Return the fraction of edges that lie inside some community of ``partition``.
+
+    This is the "more edges connecting nodes within a subset than edges
+    connecting outside" property the introduction uses as the informal
+    community definition.
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    internal = sum(graph.induced_edge_count(c) for c in partition.communities())
+    return internal / graph.num_edges

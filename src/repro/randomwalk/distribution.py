@@ -1,0 +1,143 @@
+"""Step-by-step random-walk probability distributions.
+
+:class:`WalkDistribution` is the centralized counterpart of the "local
+flooding" of Algorithm 1: starting from the indicator distribution of the
+seed vertex (``p_0(s) = 1``), each :meth:`WalkDistribution.step` advances the
+distribution by one random-walk step, exactly as if every vertex had sent
+``p_{ℓ-1}(u)/d(u)`` to each of its neighbours and summed the incoming values.
+
+The CONGEST implementation in :mod:`repro.congest.cdrw_congest` performs the
+same arithmetic with explicit messages; an integration test asserts that the
+two produce identical vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import RandomWalkError
+from ..graphs.graph import Graph
+from .transition import lazy_transition_matrix, reverse_transition_matrix
+
+__all__ = ["WalkDistribution"]
+
+
+class WalkDistribution:
+    """The exact probability distribution of a random walk, advanced step by step.
+
+    Parameters
+    ----------
+    graph:
+        Graph on which the walk runs.
+    source:
+        Seed vertex ``s``; the walk starts with all probability mass on it.
+    lazy:
+        When ``True`` use the lazy walk (stay put with probability 1/2).  The
+        paper's algorithm uses the plain walk; laziness is exposed for
+        experimentation on nearly-bipartite inputs.
+    """
+
+    def __init__(self, graph: Graph, source: int, lazy: bool = False):
+        if source not in graph:
+            raise RandomWalkError(f"source {source} is not a vertex of {graph!r}")
+        self._graph = graph
+        self._source = int(source)
+        self._lazy = bool(lazy)
+        if lazy:
+            self._operator: sp.csr_matrix = lazy_transition_matrix(graph).T.tocsr()
+        else:
+            self._operator = reverse_transition_matrix(graph)
+        self._distribution = np.zeros(graph.num_vertices, dtype=np.float64)
+        self._distribution[source] = 1.0
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def source(self) -> int:
+        """The seed vertex ``s``."""
+        return self._source
+
+    @property
+    def steps(self) -> int:
+        """The number of steps taken so far (the current walk length ``ℓ``)."""
+        return self._steps
+
+    @property
+    def lazy(self) -> bool:
+        """Whether the lazy walk is used."""
+        return self._lazy
+
+    def probabilities(self) -> np.ndarray:
+        """Return the current distribution ``p_ℓ`` (read-only view)."""
+        view = self._distribution.view()
+        view.flags.writeable = False
+        return view
+
+    def probability(self, vertex: int) -> float:
+        """Return ``p_ℓ(vertex)``."""
+        if vertex not in self._graph:
+            raise RandomWalkError(f"vertex {vertex} is not a vertex of {self._graph!r}")
+        return float(self._distribution[vertex])
+
+    def support(self, tolerance: float = 0.0) -> np.ndarray:
+        """Return the vertices with probability strictly greater than ``tolerance``."""
+        return np.flatnonzero(self._distribution > tolerance)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, count: int = 1) -> np.ndarray:
+        """Advance the walk by ``count`` steps and return the new distribution."""
+        if count < 0:
+            raise RandomWalkError(f"cannot step a negative number of times: {count}")
+        for _ in range(count):
+            self._distribution = self._operator @ self._distribution
+            self._steps += 1
+        return self.probabilities()
+
+    def run_to(self, length: int) -> np.ndarray:
+        """Advance the walk until its length equals ``length`` (no rewinding)."""
+        if length < self._steps:
+            raise RandomWalkError(
+                f"walk is already at length {self._steps}, cannot rewind to {length}"
+            )
+        return self.step(length - self._steps)
+
+    def restart(self) -> None:
+        """Reset the walk to length 0 (all mass at the seed)."""
+        self._distribution = np.zeros(self._graph.num_vertices, dtype=np.float64)
+        self._distribution[self._source] = 1.0
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Restrictions (Section I-C)
+    # ------------------------------------------------------------------
+    def restricted(self, subset: np.ndarray | list[int]) -> np.ndarray:
+        """Return ``p_ℓ`` restricted to ``subset`` (zero elsewhere).
+
+        This is the vector ``p^t_S`` of the paper: ``p^t_S(v) = p_t(v)`` for
+        ``v ∈ S`` and 0 otherwise.  Note it is generally *not* a probability
+        distribution (its total mass can be below 1).
+        """
+        mask = np.zeros(self._graph.num_vertices, dtype=bool)
+        mask[np.asarray(list(subset), dtype=np.int64)] = True
+        return np.where(mask, self._distribution, 0.0)
+
+    def mass_in(self, subset: np.ndarray | list[int]) -> float:
+        """Return the total probability mass currently inside ``subset``."""
+        indices = np.asarray(list(subset), dtype=np.int64)
+        return float(self._distribution[indices].sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkDistribution(source={self._source}, steps={self._steps}, "
+            f"lazy={self._lazy}, support={len(self.support())})"
+        )

@@ -1,0 +1,189 @@
+"""Local mixing sets and local mixing times (Definition 2 of the paper).
+
+A random walk from ``s`` *locally mixes* in a set ``S ∋ s`` at time ``t`` when
+the walk's distribution restricted to ``S`` is within ε (in L1) of the
+stationary distribution restricted to ``S``:
+
+``|| p^t_S − π_S ||₁ < ε``  with  ``π_S(v) = d(v)/µ(S)`` for ``v ∈ S``.
+
+The *local mixing time* ``τ_s(β, ε)`` is the smallest such ``t`` over all sets
+``S`` of size at least ``n/β`` containing ``s``.  This module implements the
+definition faithfully (exact ``µ(S)``, explicit candidate sets) and is used by
+the property tests and to validate the localized search that Algorithm 1 uses
+(see :mod:`repro.core.mixing_set`, which ranks vertices by the paper's
+``x_u = |p_ℓ(u) − d(u)/µ'(S)|`` values instead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import MixingError
+from ..graphs.graph import Graph
+from ..utils import MIXING_THRESHOLD
+from .distribution import WalkDistribution
+from .stationary import restricted_stationary
+
+__all__ = [
+    "mixes_locally",
+    "local_mixing_deficit",
+    "best_mixing_subset_of_size",
+    "LocalMixingResult",
+    "local_mixing_time",
+]
+
+
+def local_mixing_deficit(
+    graph: Graph,
+    distribution: np.ndarray,
+    subset: Iterable[int],
+) -> float:
+    """Return ``|| p_S − π_S ||₁`` for the given subset, using the exact ``µ(S)``."""
+    subset = sorted(set(int(v) for v in subset))
+    if not subset:
+        raise MixingError("local mixing requires a non-empty subset")
+    pi_s = restricted_stationary(graph, subset)
+    distribution = np.asarray(distribution, dtype=np.float64)
+    indices = np.asarray(subset, dtype=np.int64)
+    return float(np.abs(distribution[indices] - pi_s[indices]).sum())
+
+
+def mixes_locally(
+    graph: Graph,
+    distribution: np.ndarray,
+    subset: Iterable[int],
+    epsilon: float = MIXING_THRESHOLD,
+) -> bool:
+    """Return ``True`` when the distribution locally mixes in ``subset`` (Definition 2)."""
+    if not (0.0 < epsilon < 2.0):
+        raise MixingError(f"epsilon must be in (0, 2), got {epsilon}")
+    return local_mixing_deficit(graph, distribution, subset) < epsilon
+
+
+def best_mixing_subset_of_size(
+    graph: Graph,
+    distribution: np.ndarray,
+    size: int,
+) -> tuple[frozenset[int], float]:
+    """Return the size-``size`` subset with the smallest exact mixing deficit.
+
+    Finding the true optimum over all subsets is exponential; like the paper
+    we use the natural greedy relaxation: rank vertices by how close
+    ``p(v)`` is to what their share of ``π_S`` would be (using the average
+    degree for the provisional volume) and take the best ``size`` of them,
+    then evaluate the *exact* deficit of that set.  Tests verify that on PPM
+    graphs this recovers the seed's block at the appropriate walk length.
+    """
+    if size < 1 or size > graph.num_vertices:
+        raise MixingError(
+            f"subset size must be between 1 and n={graph.num_vertices}, got {size}"
+        )
+    distribution = np.asarray(distribution, dtype=np.float64)
+    degrees = graph.degrees().astype(np.float64)
+    average_volume = graph.volume / graph.num_vertices * size
+    deviation = np.abs(distribution - degrees / max(average_volume, 1e-300))
+    chosen = np.argpartition(deviation, size - 1)[:size]
+    subset = frozenset(int(v) for v in chosen)
+    return subset, local_mixing_deficit(graph, distribution, subset)
+
+
+@dataclass(frozen=True)
+class LocalMixingResult:
+    """Result of a local mixing time computation.
+
+    Attributes
+    ----------
+    source:
+        Walk source ``s``.
+    time:
+        The local mixing time ``τ_s(β, ε)``; ``None`` when no candidate set
+        mixed within the step budget.
+    mixing_set:
+        A set attaining the minimum (``None`` when ``time`` is ``None``).
+    beta:
+        The size parameter β (candidate sets have size ≥ ``n/β``).
+    epsilon:
+        The L1 threshold ε.
+    """
+
+    source: int
+    time: int | None
+    mixing_set: frozenset[int] | None
+    beta: float
+    epsilon: float
+
+
+def local_mixing_time(
+    graph: Graph,
+    source: int,
+    beta: float = 1.0,
+    epsilon: float = MIXING_THRESHOLD,
+    max_steps: int | None = None,
+    candidate_sets: Sequence[Iterable[int]] | None = None,
+) -> LocalMixingResult:
+    """Compute the local mixing time ``τ_s(β, ε)`` from ``source``.
+
+    Parameters
+    ----------
+    beta:
+        Candidate sets must have size at least ``n/β`` (β ≥ 1).
+    candidate_sets:
+        Optional explicit candidate sets (each containing ``source``).  When
+        omitted, for each walk length the greedy best subset of the minimum
+        admissible size is evaluated, which matches how the algorithmic
+        search proceeds and upper-bounds the true local mixing time.
+    max_steps:
+        Step budget; defaults to ``4 ⌈log₂ n⌉²``.
+    """
+    if source not in graph:
+        raise MixingError(f"source {source} is not a vertex of {graph!r}")
+    if beta < 1.0:
+        raise MixingError(f"beta must be >= 1, got {beta}")
+    if not (0.0 < epsilon < 2.0):
+        raise MixingError(f"epsilon must be in (0, 2), got {epsilon}")
+
+    n = graph.num_vertices
+    minimum_size = max(1, int(math.ceil(n / beta)))
+    if max_steps is None:
+        max_steps = max(16, 4 * int(math.ceil(math.log2(max(n, 2)))) ** 2)
+
+    explicit_sets: list[frozenset[int]] | None = None
+    if candidate_sets is not None:
+        explicit_sets = []
+        for candidate in candidate_sets:
+            candidate_set = frozenset(int(v) for v in candidate)
+            if source not in candidate_set:
+                raise MixingError("every candidate set must contain the source")
+            if len(candidate_set) < minimum_size:
+                raise MixingError(
+                    f"candidate set of size {len(candidate_set)} is below the "
+                    f"minimum n/beta = {minimum_size}"
+                )
+            explicit_sets.append(candidate_set)
+        if not explicit_sets:
+            raise MixingError("candidate_sets must not be empty when provided")
+
+    # Candidate sizes: Definition 2 minimises over all sets of size >= n/beta,
+    # so every admissible size is tried (geometrically, as in Algorithm 1).
+    from ..utils import geometric_sizes
+
+    candidate_sizes = geometric_sizes(minimum_size, n)
+
+    walk = WalkDistribution(graph, source)
+    for t in range(max_steps + 1):
+        distribution = walk.probabilities()
+        if explicit_sets is not None:
+            for candidate_set in explicit_sets:
+                if mixes_locally(graph, distribution, candidate_set, epsilon):
+                    return LocalMixingResult(source, t, candidate_set, beta, epsilon)
+        else:
+            for size in candidate_sizes:
+                subset, deficit = best_mixing_subset_of_size(graph, distribution, size)
+                if deficit < epsilon:
+                    return LocalMixingResult(source, t, subset, beta, epsilon)
+        walk.step()
+    return LocalMixingResult(source, None, None, beta, epsilon)

@@ -1,0 +1,148 @@
+"""Tests for the baseline community detection algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    averaging_dynamics,
+    clementi_two_communities,
+    label_propagation,
+    spectral_clustering,
+    walktrap_communities,
+)
+from repro.exceptions import AlgorithmError
+from repro.graphs import Graph, Partition
+from repro.metrics import partition_average_f_score
+
+
+@pytest.fixture(scope="module")
+def cliques_truth() -> Partition:
+    return Partition.from_labels([0] * 5 + [1] * 5)
+
+
+class TestLabelPropagation:
+    def test_recovers_two_cliques(self, two_cliques_graph, cliques_truth):
+        result = label_propagation(two_cliques_graph, seed=0)
+        assert partition_average_f_score(result.partition, cliques_truth) > 0.9
+        assert result.converged
+
+    def test_synchronous_variant_runs(self, two_cliques_graph):
+        result = label_propagation(two_cliques_graph, synchronous=True, seed=0, max_iterations=30)
+        assert result.iterations <= 30
+        assert result.partition.num_vertices == 10
+
+    def test_recovers_ppm_blocks(self, small_ppm):
+        result = label_propagation(small_ppm.graph, seed=1)
+        assert partition_average_f_score(result.partition, small_ppm.partition) > 0.85
+
+    def test_empty_graph(self):
+        result = label_propagation(Graph(0, []))
+        assert result.converged
+        assert result.partition.num_communities == 0
+
+    def test_isolated_vertices_keep_own_label(self):
+        graph = Graph(3, [(0, 1)])
+        result = label_propagation(graph, seed=0)
+        assert result.partition.community_of(2) != result.partition.community_of(0)
+
+    def test_invalid_budget(self, two_cliques_graph):
+        with pytest.raises(AlgorithmError):
+            label_propagation(two_cliques_graph, max_iterations=0)
+
+
+class TestAveragingDynamics:
+    def test_recovers_two_cliques(self, two_cliques_graph, cliques_truth):
+        result = averaging_dynamics(two_cliques_graph, seed=3)
+        assert result.partition.num_communities <= 2
+        assert partition_average_f_score(result.partition, cliques_truth) > 0.8
+
+    def test_recovers_two_block_ppm(self, small_ppm):
+        result = averaging_dynamics(small_ppm.graph, seed=5)
+        assert partition_average_f_score(result.partition, small_ppm.partition) > 0.8
+
+    def test_values_returned(self, two_cliques_graph):
+        result = averaging_dynamics(two_cliques_graph, rounds=10, seed=0)
+        assert result.rounds == 10
+        assert result.values.shape == (10,)
+
+    def test_validation(self, two_cliques_graph):
+        with pytest.raises(AlgorithmError):
+            averaging_dynamics(Graph(0, []))
+        with pytest.raises(AlgorithmError):
+            averaging_dynamics(Graph(3, []))
+        with pytest.raises(AlgorithmError):
+            averaging_dynamics(two_cliques_graph, rounds=0)
+
+
+class TestSpectralClustering:
+    def test_recovers_two_cliques(self, two_cliques_graph, cliques_truth):
+        result = spectral_clustering(two_cliques_graph, 2, seed=0)
+        assert partition_average_f_score(result.partition, cliques_truth) == pytest.approx(1.0)
+
+    def test_recovers_ppm_blocks(self, small_ppm):
+        result = spectral_clustering(small_ppm.graph, 2, seed=0)
+        assert partition_average_f_score(result.partition, small_ppm.partition) > 0.95
+
+    def test_embedding_shape(self, two_cliques_graph):
+        result = spectral_clustering(two_cliques_graph, 2, seed=0)
+        assert result.embedding.shape == (10, 2)
+        assert result.inertia >= 0.0
+
+    def test_edgeless_graph_single_cluster(self):
+        result = spectral_clustering(Graph(4, []), 2, seed=0)
+        assert result.partition.num_communities == 1
+
+    def test_validation(self, two_cliques_graph):
+        with pytest.raises(AlgorithmError):
+            spectral_clustering(two_cliques_graph, 0)
+        with pytest.raises(AlgorithmError):
+            spectral_clustering(two_cliques_graph, 11)
+        with pytest.raises(AlgorithmError):
+            spectral_clustering(Graph(0, []), 1)
+
+
+class TestWalktrap:
+    def test_recovers_two_cliques(self, two_cliques_graph, cliques_truth):
+        result = walktrap_communities(two_cliques_graph, 2)
+        assert partition_average_f_score(result.partition, cliques_truth) == pytest.approx(1.0)
+        assert result.merges == 8
+
+    def test_recovers_ppm_blocks(self, small_ppm):
+        result = walktrap_communities(small_ppm.graph, 2)
+        assert partition_average_f_score(result.partition, small_ppm.partition) > 0.9
+
+    def test_edgeless_graph_gives_singletons(self):
+        result = walktrap_communities(Graph(3, []), 2)
+        assert result.partition.num_communities == 3
+
+    def test_validation(self, two_cliques_graph):
+        with pytest.raises(AlgorithmError):
+            walktrap_communities(two_cliques_graph, 0)
+        with pytest.raises(AlgorithmError):
+            walktrap_communities(two_cliques_graph, 11)
+        with pytest.raises(AlgorithmError):
+            walktrap_communities(two_cliques_graph, 2, walk_length=0)
+        with pytest.raises(AlgorithmError):
+            walktrap_communities(two_cliques_graph, 2, max_vertices=5)
+
+
+class TestClementi:
+    def test_splits_two_cliques_reasonably(self, two_cliques_graph, cliques_truth):
+        result = clementi_two_communities(two_cliques_graph, seed=2)
+        assert result.partition.num_communities <= 2
+        assert partition_average_f_score(result.partition, cliques_truth) > 0.5
+
+    def test_sources_are_distinct_and_anchored(self, small_ppm):
+        result = clementi_two_communities(small_ppm.graph, seed=1)
+        source_a, source_b = result.sources
+        assert source_a != source_b
+        assert result.partition.community_of(source_a) != result.partition.community_of(source_b)
+
+    def test_validation(self, two_cliques_graph):
+        with pytest.raises(AlgorithmError):
+            clementi_two_communities(Graph(1, []))
+        with pytest.raises(AlgorithmError):
+            clementi_two_communities(Graph(3, []))
+        with pytest.raises(AlgorithmError):
+            clementi_two_communities(two_cliques_graph, rounds=0)

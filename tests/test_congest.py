@@ -1,0 +1,198 @@
+"""Tests for the CONGEST simulator: messages, network, BFS, aggregation primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    Message,
+    broadcast,
+    convergecast,
+    distributed_bfs,
+    distributed_bfs_counted,
+    message_size_in_words,
+    select_k_smallest,
+    tree_edge_count,
+)
+from repro.exceptions import BandwidthExceededError, SimulationError
+from repro.graphs import Graph, bfs_tree
+
+
+class TestMessage:
+    def test_scalar_payload_sizes(self):
+        assert message_size_in_words(None) == 1
+        assert message_size_in_words(3.5) == 1
+        assert message_size_in_words((1, 2)) == 2
+        assert message_size_in_words({"a": 1}) == 2
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(SimulationError):
+            message_size_in_words(object())
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(SimulationError):
+            Message(0, 1, "big", payload=(1, 2, 3, 4, 5, 6))
+
+    def test_size_in_words_includes_tag(self):
+        message = Message(0, 1, "x", payload=2.0)
+        assert message.size_in_words() == 2
+
+
+class TestCongestNetwork:
+    def test_round_and_message_counting(self, triangle_graph):
+        network = CongestNetwork(triangle_graph)
+        network.begin_round()
+        network.send(0, 1, "ping")
+        network.send(1, 2, "ping")
+        delivered = network.end_round()
+        assert network.rounds == 1
+        assert network.messages == 2
+        assert set(delivered) == {1, 2}
+        assert network.cost_report().messages_by_kind == {"ping": 2}
+
+    def test_send_requires_open_round(self, triangle_graph):
+        network = CongestNetwork(triangle_graph)
+        with pytest.raises(SimulationError):
+            network.send(0, 1, "ping")
+
+    def test_send_over_non_edge_rejected(self, path_graph):
+        network = CongestNetwork(path_graph)
+        network.begin_round()
+        with pytest.raises(SimulationError):
+            network.send(0, 4, "ping")
+
+    def test_bandwidth_limit_one_message_per_edge(self, triangle_graph):
+        network = CongestNetwork(triangle_graph)
+        network.begin_round()
+        network.send(0, 1, "a")
+        with pytest.raises(BandwidthExceededError):
+            network.send(0, 1, "b")
+        # The reverse direction is a separate channel.
+        network.send(1, 0, "c")
+        network.end_round()
+
+    def test_double_begin_round_rejected(self, triangle_graph):
+        network = CongestNetwork(triangle_graph)
+        network.begin_round()
+        with pytest.raises(SimulationError):
+            network.begin_round()
+
+    def test_charge_counters(self, triangle_graph):
+        network = CongestNetwork(triangle_graph)
+        network.charge_rounds(5)
+        network.charge_messages("bulk", 12)
+        report = network.cost_report()
+        assert report.rounds == 5
+        assert report.messages == 12
+        network.reset_costs()
+        assert network.rounds == 0
+
+    def test_cost_report_addition(self, triangle_graph):
+        network = CongestNetwork(triangle_graph)
+        network.charge_messages("a", 2)
+        a = network.cost_report()
+        network.charge_messages("b", 3)
+        combined = a + network.cost_report()
+        assert combined.messages == 2 + 5
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SimulationError):
+            CongestNetwork(Graph(0, []))
+
+
+class TestDistributedBfs:
+    def test_matches_sequential_bfs(self, two_cliques_graph):
+        network = CongestNetwork(two_cliques_graph)
+        distributed = distributed_bfs(network, 0)
+        sequential = bfs_tree(two_cliques_graph, 0)
+        assert np.array_equal(distributed.distances, sequential.distances)
+
+    def test_counted_variant_same_result_and_cost(self, two_cliques_graph):
+        message_network = CongestNetwork(two_cliques_graph)
+        counted_network = CongestNetwork(two_cliques_graph)
+        a = distributed_bfs(message_network, 3)
+        b = distributed_bfs_counted(counted_network, 3)
+        assert np.array_equal(a.distances, b.distances)
+        assert message_network.rounds == counted_network.rounds
+        assert message_network.messages == counted_network.messages
+
+    def test_round_count_is_depth_plus_one(self, path_graph):
+        network = CongestNetwork(path_graph)
+        result = distributed_bfs(network, 0)
+        assert network.rounds == result.depth() + 1
+
+    def test_max_depth_respected(self, path_graph):
+        network = CongestNetwork(path_graph)
+        result = distributed_bfs(network, 0, max_depth=2)
+        assert result.depth() == 2
+
+    def test_invalid_root(self, path_graph):
+        network = CongestNetwork(path_graph)
+        with pytest.raises(SimulationError):
+            distributed_bfs(network, 99)
+
+
+class TestAggregation:
+    def test_convergecast_sum_matches_numpy(self, two_cliques_graph):
+        network = CongestNetwork(two_cliques_graph)
+        tree = bfs_tree(two_cliques_graph, 0)
+        values = np.arange(10, dtype=float)
+        total = convergecast(network, tree, values, combine=lambda a, b: a + b)
+        assert total == pytest.approx(values.sum())
+
+    def test_convergecast_message_level_same_value_and_cost(self, two_cliques_graph):
+        tree = bfs_tree(two_cliques_graph, 0)
+        values = np.arange(10, dtype=float)
+        fast = CongestNetwork(two_cliques_graph)
+        slow = CongestNetwork(two_cliques_graph)
+        a = convergecast(fast, tree, values, combine=max, count_only=True)
+        b = convergecast(slow, tree, values, combine=max, count_only=False)
+        assert a == b == 9.0
+        assert fast.rounds == slow.rounds
+        assert fast.messages == slow.messages
+
+    def test_broadcast_costs(self, two_cliques_graph):
+        tree = bfs_tree(two_cliques_graph, 0)
+        network = CongestNetwork(two_cliques_graph)
+        broadcast(network, tree, payload=1.0, count_only=True)
+        assert network.rounds == tree.depth()
+        assert network.messages == tree_edge_count(tree)
+
+    def test_convergecast_shape_check(self, two_cliques_graph):
+        network = CongestNetwork(two_cliques_graph)
+        tree = bfs_tree(two_cliques_graph, 0)
+        with pytest.raises(SimulationError):
+            convergecast(network, tree, np.zeros(3), combine=max)
+
+    def test_select_k_smallest_matches_sort(self, small_gnp_graph):
+        network = CongestNetwork(small_gnp_graph)
+        tree = bfs_tree(small_gnp_graph, 0)
+        rng = np.random.default_rng(0)
+        values = rng.random(small_gnp_graph.num_vertices)
+        selected, total, iterations = select_k_smallest(network, tree, values, 10)
+        expected = np.sort(values)[:10].sum()
+        assert total == pytest.approx(expected)
+        assert len(selected) == 10
+        assert iterations >= 1
+        assert network.rounds > 0
+
+    def test_select_k_smallest_message_level_agrees(self, two_cliques_graph):
+        tree = bfs_tree(two_cliques_graph, 0)
+        rng = np.random.default_rng(1)
+        values = rng.random(10)
+        fast = CongestNetwork(two_cliques_graph)
+        slow = CongestNetwork(two_cliques_graph)
+        a, sum_a, _ = select_k_smallest(fast, tree, values, 4, count_only=True)
+        b, sum_b, _ = select_k_smallest(slow, tree, values, 4, count_only=False)
+        assert np.array_equal(a, b)
+        assert sum_a == pytest.approx(sum_b)
+
+    def test_select_k_validation(self, two_cliques_graph):
+        network = CongestNetwork(two_cliques_graph)
+        tree = bfs_tree(two_cliques_graph, 0)
+        with pytest.raises(SimulationError):
+            select_k_smallest(network, tree, np.zeros(10), 0)
+        with pytest.raises(SimulationError):
+            select_k_smallest(network, tree, np.zeros(10), 11)

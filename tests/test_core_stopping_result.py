@@ -1,0 +1,129 @@
+"""Tests for the stopping rule and the result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GrowthStoppingRule, LargestMixingSet
+from repro.core.result import CommunityResult, DetectionResult
+from repro.exceptions import AlgorithmError
+from repro.graphs import Partition
+
+
+def _mixing_set(size: int, length: int) -> LargestMixingSet:
+    return LargestMixingSet(
+        walk_length=length,
+        size=size,
+        members=frozenset(range(size)),
+        deficit=0.1,
+        mass=0.9,
+        sizes_examined=size,
+    )
+
+
+class TestGrowthStoppingRule:
+    def test_stops_on_plateau_and_returns_previous(self):
+        rule = GrowthStoppingRule(delta=0.1)
+        assert not rule.observe(_mixing_set(10, 1)).should_stop
+        assert not rule.observe(_mixing_set(40, 2)).should_stop
+        decision = rule.observe(_mixing_set(42, 3))
+        assert decision.should_stop
+        assert decision.community.size == 40
+
+    def test_does_not_stop_while_growing(self):
+        rule = GrowthStoppingRule(delta=0.1)
+        rule.observe(_mixing_set(10, 1))
+        for length, size in enumerate([20, 40, 80, 160], start=2):
+            assert not rule.observe(_mixing_set(size, length)).should_stop
+
+    def test_no_previous_set_no_stop(self):
+        rule = GrowthStoppingRule(delta=0.1)
+        decision = rule.observe(_mixing_set(0, 1))
+        assert not decision.should_stop
+        decision = rule.observe(_mixing_set(10, 2))
+        assert not decision.should_stop
+
+    def test_vanishing_set_does_not_stop(self):
+        rule = GrowthStoppingRule(delta=0.1)
+        rule.observe(_mixing_set(10, 1))
+        decision = rule.observe(_mixing_set(0, 2))
+        assert not decision.should_stop
+
+    def test_shrinking_set_triggers_stop(self):
+        rule = GrowthStoppingRule(delta=0.05)
+        rule.observe(_mixing_set(50, 1))
+        decision = rule.observe(_mixing_set(30, 2))
+        assert decision.should_stop
+        assert decision.community.size == 50
+
+    def test_require_consecutive_two(self):
+        rule = GrowthStoppingRule(delta=0.1, require_consecutive=2)
+        rule.observe(_mixing_set(10, 1))
+        assert not rule.observe(_mixing_set(10, 2)).should_stop
+        assert rule.observe(_mixing_set(10, 3)).should_stop
+
+    def test_reset(self):
+        rule = GrowthStoppingRule(delta=0.1)
+        rule.observe(_mixing_set(10, 1))
+        rule.reset()
+        assert rule.previous is None
+        assert not rule.observe(_mixing_set(10, 2)).should_stop
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AlgorithmError):
+            GrowthStoppingRule(delta=-0.1)
+        with pytest.raises(AlgorithmError):
+            GrowthStoppingRule(delta=0.1, require_consecutive=0)
+
+
+def _community(seed: int, members, length: int = 3) -> CommunityResult:
+    return CommunityResult(
+        seed=seed,
+        community=frozenset(members),
+        walk_length=length,
+        history=(_mixing_set(len(members), length),),
+        stop_reason="test",
+        delta=0.1,
+    )
+
+
+class TestResultContainers:
+    def test_community_result_accessors(self):
+        result = _community(0, range(5))
+        assert result.size == 5
+        assert result.size_trace() == [5]
+        assert result.sizes_examined() == 5
+
+    def test_detection_result_coverage_and_seeds(self):
+        detection = DetectionResult(
+            num_vertices=10,
+            communities=(_community(0, range(5)), _community(7, range(5, 10))),
+        )
+        assert detection.num_communities == 2
+        assert detection.seeds() == [0, 7]
+        assert detection.coverage() == 1.0
+        assert detection.covered_vertices() == frozenset(range(10))
+        assert detection.total_walk_steps() == 6
+
+    def test_to_partition_resolves_overlap_by_first_claim(self):
+        detection = DetectionResult(
+            num_vertices=8,
+            communities=(_community(0, range(5)), _community(6, range(3, 8))),
+        )
+        partition = detection.to_partition()
+        assert partition.community_of(3) == 0
+        assert partition.community_of(6) == 1
+        assert partition.num_communities == 2
+
+    def test_to_partition_min_size_drops_small_leftovers(self):
+        detection = DetectionResult(
+            num_vertices=6,
+            communities=(_community(0, range(5)), _community(5, [4, 5])),
+        )
+        partition = detection.to_partition(min_size=2)
+        assert partition.community_of(5) == Partition.UNASSIGNED
+
+    def test_empty_detection(self):
+        detection = DetectionResult(num_vertices=0, communities=())
+        assert detection.coverage() == 0.0
+        assert len(detection) == 0

@@ -1,0 +1,156 @@
+"""Tests for the random graph generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeneratorError
+from repro.graphs import (
+    connectivity_threshold,
+    dense_intra_probability,
+    gnp_random_graph,
+    is_connected,
+    planted_partition_graph,
+    random_regular_graph,
+    sparse_intra_probability,
+    stochastic_block_model_graph,
+)
+
+
+class TestThresholds:
+    def test_connectivity_threshold_value(self):
+        assert connectivity_threshold(1024) == pytest.approx(math.log(1024) / 1024)
+
+    def test_sparse_and_dense_probabilities(self):
+        n = 2048
+        assert sparse_intra_probability(n) == pytest.approx(2 * math.log(n) / n)
+        assert dense_intra_probability(n) == pytest.approx(2 * math.log(n) ** 2 / n)
+
+    def test_probabilities_clamped_to_one(self):
+        assert dense_intra_probability(4, factor=100) == 1.0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(GeneratorError):
+            connectivity_threshold(1)
+
+
+class TestGnp:
+    def test_deterministic_with_seed(self):
+        a = gnp_random_graph(100, 0.1, seed=3)
+        b = gnp_random_graph(100, 0.1, seed=3)
+        assert a == b
+
+    def test_extreme_probabilities(self):
+        empty = gnp_random_graph(20, 0.0, seed=1)
+        complete = gnp_random_graph(20, 1.0, seed=1)
+        assert empty.num_edges == 0
+        assert complete.num_edges == 20 * 19 // 2
+
+    def test_edge_count_near_expectation(self):
+        n, p = 400, 0.05
+        graph = gnp_random_graph(n, p, seed=5)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 5 * math.sqrt(expected)
+
+    def test_connected_above_threshold(self):
+        n = 256
+        graph = gnp_random_graph(n, 3 * math.log(n) / n, seed=2)
+        assert is_connected(graph)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GeneratorError):
+            gnp_random_graph(10, 1.5)
+
+    def test_negative_size(self):
+        with pytest.raises(GeneratorError):
+            gnp_random_graph(-5, 0.1)
+
+
+class TestPlantedPartition:
+    def test_partition_shape(self):
+        ppm = planted_partition_graph(120, 4, 0.4, 0.01, seed=1)
+        assert ppm.num_blocks == 4
+        assert ppm.partition.sizes() == [30, 30, 30, 30]
+        assert ppm.graph.num_vertices == 120
+
+    def test_blocks_are_contiguous_ranges(self):
+        ppm = planted_partition_graph(40, 2, 0.5, 0.0, seed=1)
+        assert ppm.partition.members(0) == frozenset(range(20))
+        assert ppm.partition.members(1) == frozenset(range(20, 40))
+
+    def test_zero_inter_probability_isolates_blocks(self):
+        ppm = planted_partition_graph(60, 3, 0.8, 0.0, seed=4)
+        for block in ppm.partition.communities():
+            assert ppm.graph.cut_size(block) == 0
+
+    def test_intra_denser_than_inter(self):
+        ppm = planted_partition_graph(200, 2, 0.3, 0.01, seed=9)
+        block = ppm.partition.members(0)
+        intra = ppm.graph.induced_edge_count(block)
+        inter = ppm.graph.cut_size(block)
+        assert intra > inter
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(GeneratorError):
+            planted_partition_graph(10, 3, 0.5, 0.1)
+
+    def test_reproducible(self):
+        a = planted_partition_graph(80, 2, 0.3, 0.02, seed=6)
+        b = planted_partition_graph(80, 2, 0.3, 0.02, seed=6)
+        assert a.graph == b.graph
+
+    def test_single_block_is_gnp(self):
+        ppm = planted_partition_graph(50, 1, 0.2, 0.0, seed=3)
+        assert ppm.num_blocks == 1
+        assert ppm.partition.sizes() == [50]
+
+
+class TestStochasticBlockModel:
+    def test_general_matrix(self):
+        sbm = stochastic_block_model_graph(
+            [20, 30], [[0.5, 0.01], [0.01, 0.4]], seed=2
+        )
+        assert sbm.graph.num_vertices == 50
+        assert sbm.partition.sizes() == [20, 30]
+        assert sbm.intra_probability is None  # unequal diagonal
+        assert sbm.inter_probability == pytest.approx(0.01)
+
+    def test_symmetric_matrix_reports_probabilities(self):
+        sbm = stochastic_block_model_graph(
+            [25, 25], [[0.3, 0.02], [0.02, 0.3]], seed=2
+        )
+        assert sbm.intra_probability == pytest.approx(0.3)
+        assert sbm.inter_probability == pytest.approx(0.02)
+
+    def test_asymmetric_matrix_rejected(self):
+        with pytest.raises(GeneratorError):
+            stochastic_block_model_graph([10, 10], [[0.5, 0.1], [0.2, 0.5]])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GeneratorError):
+            stochastic_block_model_graph([10, 10], [[0.5, 0.1]])
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(GeneratorError):
+            stochastic_block_model_graph([10, 10], [[0.5, 1.2], [1.2, 0.5]])
+
+
+class TestRandomRegular:
+    def test_degrees_are_regular(self):
+        graph = random_regular_graph(30, 4, seed=1)
+        assert set(graph.degrees().tolist()) == {4}
+
+    def test_zero_degree(self):
+        graph = random_regular_graph(10, 0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_odd_total_degree_rejected(self):
+        with pytest.raises(GeneratorError):
+            random_regular_graph(5, 3)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(GeneratorError):
+            random_regular_graph(5, 5)

@@ -1,0 +1,170 @@
+"""Tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle_graph):
+        assert triangle_graph.num_vertices == 3
+        assert triangle_graph.num_edges == 3
+        assert triangle_graph.volume == 6
+
+    def test_duplicate_edges_collapsed(self):
+        graph = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_empty_graph(self):
+        graph = Graph(4, [])
+        assert graph.num_edges == 0
+        assert graph.max_degree() == 0
+        assert list(graph.edges()) == []
+
+    def test_from_edge_array(self):
+        edges = np.array([[0, 1], [1, 2]])
+        graph = Graph.from_edge_array(3, edges)
+        assert graph.num_edges == 2
+
+    def test_from_edge_array_bad_shape(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([0, 1, 2]))
+
+    def test_networkx_round_trip(self, two_cliques_graph):
+        nx_graph = two_cliques_graph.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == two_cliques_graph
+
+
+class TestAccessors:
+    def test_degrees(self, path_graph):
+        assert path_graph.degree(0) == 1
+        assert path_graph.degree(2) == 2
+        assert list(path_graph.degrees()) == [1, 2, 2, 2, 1]
+
+    def test_degree_extremes_and_average(self, path_graph):
+        assert path_graph.max_degree() == 2
+        assert path_graph.min_degree() == 1
+        assert path_graph.average_degree() == pytest.approx(2 * 4 / 5)
+
+    def test_neighbors_sorted_and_readonly(self, triangle_graph):
+        neighbors = triangle_graph.neighbors(0)
+        assert list(neighbors) == [1, 2]
+        with pytest.raises(ValueError):
+            neighbors[0] = 5
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(0, 1)
+        assert path_graph.has_edge(1, 0)
+        assert not path_graph.has_edge(0, 2)
+        assert not path_graph.has_edge(0, 0)
+
+    def test_edges_listed_once(self, triangle_graph):
+        assert sorted(triangle_graph.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_shape(self, two_cliques_graph):
+        array = two_cliques_graph.edge_array()
+        assert array.shape == (two_cliques_graph.num_edges, 2)
+        assert (array[:, 0] < array[:, 1]).all()
+
+    def test_contains_and_len(self, triangle_graph):
+        assert 0 in triangle_graph
+        assert 3 not in triangle_graph
+        assert "x" not in triangle_graph
+        assert len(triangle_graph) == 3
+
+    def test_vertex_out_of_range(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.degree(5)
+
+    def test_adjacency_matrix_symmetric(self, two_cliques_graph):
+        adjacency = two_cliques_graph.adjacency_matrix()
+        assert (adjacency != adjacency.T).nnz == 0
+        assert adjacency.sum() == two_cliques_graph.volume
+
+    def test_equality(self, triangle_graph):
+        clone = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert clone == triangle_graph
+        assert Graph(3, [(0, 1)]) != triangle_graph
+
+
+class TestSubsetOperations:
+    def test_subset_volume(self, two_cliques_graph):
+        clique = range(5)
+        # 4 inside-degree for each of the 5 vertices, plus the bridge endpoint.
+        assert two_cliques_graph.subset_volume(clique) == 5 * 4 + 1
+
+    def test_cut_size_bridge(self, two_cliques_graph):
+        assert two_cliques_graph.cut_size(range(5)) == 1
+        assert two_cliques_graph.cut_size(range(5, 10)) == 1
+
+    def test_cut_size_empty_and_full(self, two_cliques_graph):
+        assert two_cliques_graph.cut_size([]) == 0
+        assert two_cliques_graph.cut_size(range(10)) == 0
+
+    def test_induced_edge_count(self, two_cliques_graph):
+        assert two_cliques_graph.induced_edge_count(range(5)) == 10
+        assert two_cliques_graph.induced_edge_count([0, 5]) == 1
+
+    def test_induced_subgraph(self, two_cliques_graph):
+        subgraph, mapping = two_cliques_graph.induced_subgraph(list(range(5)))
+        assert subgraph.num_vertices == 5
+        assert subgraph.num_edges == 10
+        assert set(mapping) == set(range(5))
+
+    def test_subset_duplicates_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.subset_volume([0, 0])
+
+    def test_subset_out_of_range_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.cut_size([0, 7])
+
+
+@st.composite
+def random_edge_lists(draw):
+    n = draw(st.integers(2, 20))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
+    return n, edges
+
+
+class TestGraphProperties:
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_handshake_lemma(self, data):
+        n, edges = data
+        graph = Graph(n, edges)
+        assert graph.degrees().sum() == 2 * graph.num_edges
+
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_cut_plus_induced_consistency(self, data):
+        n, edges = data
+        graph = Graph(n, edges)
+        subset = list(range(n // 2))
+        complement = list(range(n // 2, n))
+        total = (
+            graph.induced_edge_count(subset)
+            + graph.induced_edge_count(complement)
+            + graph.cut_size(subset)
+        )
+        assert total == graph.num_edges

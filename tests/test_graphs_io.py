@@ -1,0 +1,83 @@
+"""Tests for graph serialization (edge lists and JSON bundles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    Partition,
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, two_cliques_graph, tmp_path):
+        path = tmp_path / "graph.edges"
+        write_edge_list(two_cliques_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == two_cliques_graph
+
+    def test_isolated_vertices_preserved_via_header(self, tmp_path):
+        graph = Graph(5, [(0, 1)])
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 5
+
+    def test_read_without_header_infers_size(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("0 1\n2 3\n# a comment\n\n", encoding="utf-8")
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 2
+
+    def test_explicit_vertex_count_override(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("0 1\n", encoding="utf-8")
+        loaded = read_edge_list(path, num_vertices=10)
+        assert loaded.num_vertices == 10
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+
+class TestJsonBundle:
+    def test_dict_round_trip_with_partition_and_metadata(self, two_cliques_graph):
+        partition = Partition.from_labels([0] * 5 + [1] * 5)
+        document = graph_to_dict(two_cliques_graph, partition, metadata={"p": 0.5})
+        graph, loaded_partition, metadata = graph_from_dict(document)
+        assert graph == two_cliques_graph
+        assert loaded_partition == partition
+        assert metadata == {"p": 0.5}
+
+    def test_file_round_trip(self, two_cliques_graph, tmp_path):
+        path = tmp_path / "bundle.json"
+        write_graph_json(path, two_cliques_graph)
+        graph, partition, metadata = read_graph_json(path)
+        assert graph == two_cliques_graph
+        assert partition is None
+        assert metadata == {}
+
+    def test_partition_size_mismatch_rejected(self, two_cliques_graph):
+        partition = Partition.from_labels([0, 1])
+        with pytest.raises(GraphError):
+            graph_to_dict(two_cliques_graph, partition)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"edges": [[0, 1]]})
+
+    def test_partition_length_mismatch_rejected(self):
+        document = {"num_vertices": 3, "edges": [[0, 1]], "partition": [0, 1]}
+        with pytest.raises(GraphError):
+            graph_from_dict(document)

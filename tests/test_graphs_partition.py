@@ -1,0 +1,135 @@
+"""Tests for the Partition data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitionError
+from repro.graphs import Partition
+
+
+class TestConstruction:
+    def test_from_labels(self):
+        partition = Partition.from_labels([0, 0, 1, 1, 2])
+        assert partition.num_communities == 3
+        assert partition.sizes() == [2, 2, 1]
+
+    def test_labels_renumbered_in_first_appearance_order(self):
+        partition = Partition.from_labels([5, 5, 2, 2])
+        assert list(partition.labels) == [0, 0, 1, 1]
+
+    def test_unassigned_preserved(self):
+        partition = Partition.from_labels([0, -1, 0, -1])
+        assert partition.num_communities == 1
+        assert list(partition.unassigned_vertices()) == [1, 3]
+        assert not partition.is_complete()
+
+    def test_from_communities(self):
+        partition = Partition.from_communities([[0, 1], [3]], num_vertices=5)
+        assert partition.community_of(0) == 0
+        assert partition.community_of(3) == 1
+        assert partition.community_of(4) == Partition.UNASSIGNED
+
+    def test_from_communities_overlap_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition.from_communities([[0, 1], [1, 2]], num_vertices=3)
+
+    def test_from_communities_out_of_range_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition.from_communities([[0, 5]], num_vertices=3)
+
+    def test_labels_below_minus_one_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition.from_labels([0, -2])
+
+    def test_singletons_and_single_community(self):
+        singles = Partition.singletons(4)
+        whole = Partition.single_community(4)
+        assert singles.num_communities == 4
+        assert whole.num_communities == 1
+        assert whole.sizes() == [4]
+
+
+class TestAccessors:
+    def test_members_and_containing(self):
+        partition = Partition.from_labels([0, 1, 0, 1])
+        assert partition.members(0) == frozenset({0, 2})
+        assert partition.community_containing(1) == frozenset({1, 3})
+
+    def test_containing_unassigned_raises(self):
+        partition = Partition.from_labels([0, -1])
+        with pytest.raises(PartitionError):
+            partition.community_containing(1)
+
+    def test_members_bad_id_raises(self):
+        partition = Partition.from_labels([0, 0])
+        with pytest.raises(PartitionError):
+            partition.members(3)
+
+    def test_membership_dict(self):
+        partition = Partition.from_labels([0, -1, 1])
+        assert partition.as_membership_dict() == {0: 0, 2: 1}
+
+    def test_iteration_and_len(self):
+        partition = Partition.from_labels([0, 1, 1])
+        assert len(partition) == 2
+        assert [len(c) for c in partition] == [1, 2]
+
+    def test_vertex_out_of_range(self):
+        partition = Partition.from_labels([0])
+        with pytest.raises(PartitionError):
+            partition.community_of(3)
+
+
+class TestComparison:
+    def test_agrees_with_ignores_label_names(self):
+        a = Partition.from_labels([0, 0, 1, 1])
+        b = Partition.from_labels([7, 7, 3, 3])
+        assert a.agrees_with(b)
+
+    def test_agrees_with_detects_difference(self):
+        a = Partition.from_labels([0, 0, 1, 1])
+        b = Partition.from_labels([0, 1, 1, 0])
+        assert not a.agrees_with(b)
+
+    def test_equality_and_hash(self):
+        a = Partition.from_labels([0, 1])
+        b = Partition.from_labels([0, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_restricted_to(self):
+        partition = Partition.from_labels([0, 0, 1, 1])
+        restricted = partition.restricted_to([0, 3])
+        assert restricted.community_of(1) == Partition.UNASSIGNED
+        assert restricted.community_of(0) != Partition.UNASSIGNED
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(-1, 5), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_sizes_sum_to_assigned_count(self, labels):
+        partition = Partition.from_labels(labels)
+        assigned = sum(1 for label in labels if label != -1)
+        assert sum(partition.sizes()) == assigned
+        assert len(partition.assigned_vertices()) == assigned
+
+    @given(st.lists(st.integers(-1, 5), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_communities_are_disjoint_and_cover_assigned(self, labels):
+        partition = Partition.from_labels(labels)
+        seen: set[int] = set()
+        for community in partition.communities():
+            assert not (seen & community)
+            seen |= community
+        assert seen == set(int(v) for v in partition.assigned_vertices())
+
+    @given(st.lists(st.integers(-1, 5), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_normalisation_idempotent(self, labels):
+        partition = Partition.from_labels(labels)
+        again = Partition.from_labels(partition.labels)
+        assert partition == again

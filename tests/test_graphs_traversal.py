@@ -1,0 +1,107 @@
+"""Tests for BFS, balls, components and diameter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    ball,
+    ball_sizes,
+    bfs_tree,
+    connected_components,
+    diameter,
+    eccentricity,
+    is_connected,
+    shortest_path_length,
+)
+
+
+class TestBfs:
+    def test_distances_on_path(self, path_graph):
+        result = bfs_tree(path_graph, 0)
+        assert list(result.distances) == [0, 1, 2, 3, 4]
+        assert result.depth() == 4
+
+    def test_parents_form_tree(self, path_graph):
+        result = bfs_tree(path_graph, 2)
+        assert result.parents[2] == -1
+        assert result.parents[1] == 2
+        assert result.parents[0] == 1
+
+    def test_max_depth_caps_search(self, path_graph):
+        result = bfs_tree(path_graph, 0, max_depth=2)
+        assert list(result.reached()) == [0, 1, 2]
+        assert result.depth() == 2
+
+    def test_children_and_order(self, path_graph):
+        result = bfs_tree(path_graph, 0)
+        children = result.children()
+        assert children[0] == [1]
+        order = result.subtree_order()
+        assert order[0] == 0
+        assert sorted(order) == list(range(5))
+
+    def test_unreachable_vertices(self):
+        graph = Graph(4, [(0, 1)])
+        result = bfs_tree(graph, 0)
+        assert result.distances[2] == -1
+        assert len(result.reached()) == 2
+
+    def test_invalid_root(self, path_graph):
+        with pytest.raises(GraphError):
+            bfs_tree(path_graph, 10)
+
+    def test_negative_depth_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            bfs_tree(path_graph, 0, max_depth=-1)
+
+
+class TestBalls:
+    def test_ball_growth_on_path(self, path_graph):
+        assert ball(path_graph, 2, 0) == frozenset({2})
+        assert ball(path_graph, 2, 1) == frozenset({1, 2, 3})
+        assert ball(path_graph, 2, 10) == frozenset(range(5))
+
+    def test_ball_sizes_cumulative(self, path_graph):
+        assert ball_sizes(path_graph, 0, 3) == [1, 2, 3, 4]
+
+    def test_ball_negative_radius_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            ball(path_graph, 0, -1)
+
+
+class TestComponentsAndDiameter:
+    def test_connected_components_sizes(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2, 1]
+
+    def test_is_connected(self, two_cliques_graph):
+        assert is_connected(two_cliques_graph)
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert is_connected(Graph(0, []))
+        assert is_connected(Graph(1, []))
+
+    def test_eccentricity_and_diameter(self, path_graph):
+        assert eccentricity(path_graph, 0) == 4
+        assert eccentricity(path_graph, 2) == 2
+        assert diameter(path_graph) == 4
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(GraphError):
+            diameter(Graph(3, [(0, 1)]))
+
+    def test_sampled_diameter_is_lower_bound(self, two_cliques_graph):
+        exact = diameter(two_cliques_graph)
+        sampled = diameter(two_cliques_graph, sample_size=3, seed=0)
+        assert sampled <= exact
+
+    def test_shortest_path_length(self, path_graph):
+        assert shortest_path_length(path_graph, 0, 4) == 4
+        assert shortest_path_length(path_graph, 4, 4) == 0
+
+    def test_shortest_path_unreachable(self):
+        graph = Graph(3, [(0, 1)])
+        assert shortest_path_length(graph, 0, 2) == -1

@@ -1,0 +1,188 @@
+"""Tests for the k-machine model: partition, simulator, conversion theorem, CDRW."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MachineError
+from repro.graphs import ppm_expected_conductance
+from repro.kmachine import (
+    KMachineNetwork,
+    RandomVertexPartition,
+    cdrw_kmachine_round_bound,
+    conversion_theorem_rounds,
+    detect_communities_kmachine,
+    detect_community_kmachine,
+    dominant_term,
+)
+from repro.metrics import average_f_score
+
+
+class TestRandomVertexPartition:
+    def test_hash_method_deterministic(self):
+        a = RandomVertexPartition(100, 8, method="hash")
+        b = RandomVertexPartition(100, 8, method="hash")
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_random_method_uses_seed(self):
+        a = RandomVertexPartition(100, 8, method="random", seed=1)
+        b = RandomVertexPartition(100, 8, method="random", seed=1)
+        c = RandomVertexPartition(100, 8, method="random", seed=2)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert not np.array_equal(a.assignment, c.assignment)
+
+    def test_home_machine_and_vertices_of_consistent(self):
+        partition = RandomVertexPartition(50, 4, method="hash")
+        for machine in range(4):
+            for vertex in partition.vertices_of(machine):
+                assert partition.home_machine(int(vertex)) == machine
+
+    def test_assignments_within_range(self):
+        partition = RandomVertexPartition(200, 7, method="hash")
+        assert partition.assignment.min() >= 0
+        assert partition.assignment.max() < 7
+
+    def test_balance_report(self, small_gnp_graph):
+        partition = RandomVertexPartition(small_gnp_graph.num_vertices, 4, method="hash")
+        report = partition.balance_report(small_gnp_graph)
+        assert sum(report.vertices_per_machine) == small_gnp_graph.num_vertices
+        assert sum(report.edges_per_machine) == small_gnp_graph.volume
+        assert report.max_vertex_imbalance < 2.0
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            RandomVertexPartition(10, 0)
+        with pytest.raises(MachineError):
+            RandomVertexPartition(10, 2, method="roundrobin")
+        partition = RandomVertexPartition(10, 2)
+        with pytest.raises(MachineError):
+            partition.home_machine(20)
+        with pytest.raises(MachineError):
+            partition.vertices_of(5)
+
+
+class TestKMachineNetwork:
+    def test_link_loads_and_local_messages(self):
+        partition = RandomVertexPartition(4, 2, method="random", seed=0)
+        network = KMachineNetwork(partition)
+        assignment = partition.assignment
+        sources = np.array([0, 1, 2, 3])
+        targets = np.array([1, 2, 3, 0])
+        loads, inter, local = network.link_loads(sources, targets)
+        assert inter + local == 4
+        assert loads.sum() == inter
+
+    def test_route_congest_round_counts(self):
+        partition = RandomVertexPartition(10, 2, method="random", seed=3)
+        network = KMachineNetwork(partition)
+        sources = np.arange(10)
+        targets = (np.arange(10) + 1) % 10
+        charged = network.route_congest_round(sources, targets)
+        cost = network.cost()
+        assert cost.congest_rounds_routed == 1
+        assert cost.rounds == charged
+        assert cost.inter_machine_messages + cost.local_messages == 10
+
+    def test_repeat_multiplies_costs(self):
+        partition = RandomVertexPartition(10, 2, method="random", seed=3)
+        network = KMachineNetwork(partition)
+        sources = np.arange(10)
+        targets = (np.arange(10) + 1) % 10
+        once = network.route_congest_round(sources, targets, repeat=1)
+        network.reset()
+        thrice = network.route_congest_round(sources, targets, repeat=3)
+        assert thrice == 3 * once
+
+    def test_all_local_messages_cost_zero_rounds(self):
+        partition = RandomVertexPartition(4, 1, method="hash")
+        network = KMachineNetwork(partition)
+        rounds = network.route_congest_round(np.array([0, 1]), np.array([1, 0]))
+        assert rounds == 0
+        assert network.cost().local_messages == 2
+
+    def test_validation(self):
+        partition = RandomVertexPartition(4, 2)
+        with pytest.raises(MachineError):
+            KMachineNetwork(partition, bandwidth_messages=0)
+        network = KMachineNetwork(partition)
+        with pytest.raises(MachineError):
+            network.link_loads(np.array([0, 1]), np.array([0]))
+        with pytest.raises(MachineError):
+            network.route_congest_round(np.array([0]), np.array([1]), repeat=-1)
+
+
+class TestConversionTheorem:
+    def test_formula(self):
+        value = conversion_theorem_rounds(messages=1000, rounds=10, max_degree=5, num_machines=10)
+        assert value == pytest.approx(1000 / 100 + 5 * 10 / 10)
+
+    def test_polylog_factor(self):
+        base = conversion_theorem_rounds(100, 1, 1, 2)
+        with_log = conversion_theorem_rounds(100, 1, 1, 2, include_polylog=True, n=1024)
+        assert with_log > base
+
+    def test_dominant_term(self):
+        assert dominant_term(messages=10**6, rounds=10, max_degree=10, num_machines=10) == "messages"
+        assert dominant_term(messages=100, rounds=1000, max_degree=100, num_machines=10) == "degree"
+
+    def test_closed_form_bound_decreases_with_k(self):
+        bounds = [cdrw_kmachine_round_bound(1024, 2, 0.05, 0.001, k) for k in (2, 4, 8)]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            conversion_theorem_rounds(1, 1, 1, 0)
+        with pytest.raises(MachineError):
+            conversion_theorem_rounds(-1, 1, 1, 2)
+        with pytest.raises(MachineError):
+            conversion_theorem_rounds(1, 1, 1, 2, include_polylog=True)
+        with pytest.raises(MachineError):
+            cdrw_kmachine_round_bound(10, 3, 0.1, 0.1, 2)
+
+
+class TestKMachineCdrw:
+    def test_accuracy_matches_centralized(self, small_ppm):
+        graph, truth = small_ppm.graph, small_ppm.partition
+        delta = ppm_expected_conductance(
+            graph.num_vertices, 2, small_ppm.intra_probability, small_ppm.inter_probability
+        )
+        result = detect_communities_kmachine(graph, 4, delta_hint=delta, seed=1, partition_seed=0)
+        assert average_f_score(result.detection, truth) > 0.85
+        assert result.num_machines == 4
+
+    def test_rounds_decrease_with_more_machines(self, small_ppm):
+        graph = small_ppm.graph
+        delta = 0.05
+        rounds = []
+        for k in (2, 4, 8):
+            outcome = detect_community_kmachine(
+                graph, 3, k, delta_hint=delta, partition_seed=0
+            )
+            rounds.append(outcome.cost.rounds)
+        assert rounds[0] > rounds[1] > rounds[2]
+
+    def test_scaling_between_linear_and_quadratic(self, small_ppm):
+        graph = small_ppm.graph
+        r2 = detect_community_kmachine(graph, 3, 2, delta_hint=0.05, partition_seed=0).cost.rounds
+        r8 = detect_community_kmachine(graph, 3, 8, delta_hint=0.05, partition_seed=0).cost.rounds
+        improvement = r2 / r8
+        # Going from 2 to 8 machines is a 4x increase: the speedup must be at
+        # least linear (4x, up to constant slack) and at most quadratic (16x).
+        assert 2.0 < improvement < 20.0
+
+    def test_cost_breakdown_consistent(self, small_ppm):
+        outcome = detect_community_kmachine(small_ppm.graph, 0, 4, delta_hint=0.05, partition_seed=1)
+        assert outcome.cost.rounds > 0
+        assert outcome.cost.congest_rounds_routed > 0
+        assert outcome.cost.inter_machine_messages > 0
+
+    def test_invalid_seed_vertex(self, two_cliques_graph):
+        with pytest.raises(MachineError):
+            detect_community_kmachine(two_cliques_graph, 99, 2)
+
+    def test_network_machine_count_mismatch(self, two_cliques_graph):
+        partition = RandomVertexPartition(10, 4)
+        network = KMachineNetwork(partition)
+        with pytest.raises(MachineError):
+            detect_community_kmachine(two_cliques_graph, 0, 2, network=network)

@@ -1,0 +1,174 @@
+"""Tests for the accuracy metrics (paper's F-score, NMI/ARI, structural quality)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import CommunityResult, DetectionResult
+from repro.exceptions import MetricError
+from repro.graphs import Partition
+from repro.metrics import (
+    adjusted_rand_index,
+    average_f_score,
+    community_f_score,
+    community_precision,
+    community_quality,
+    community_recall,
+    contingency_table,
+    detected_modularity,
+    intra_edge_fraction,
+    normalized_mutual_information,
+    partition_average_f_score,
+    partition_quality,
+    purity,
+    score_community,
+    score_detection,
+)
+
+
+def _detection(communities: list[tuple[int, list[int]]], n: int) -> DetectionResult:
+    results = tuple(
+        CommunityResult(
+            seed=seed,
+            community=frozenset(members),
+            walk_length=1,
+            history=(),
+            stop_reason="test",
+            delta=0.1,
+        )
+        for seed, members in communities
+    )
+    return DetectionResult(num_vertices=n, communities=results)
+
+
+class TestSeedScores:
+    def test_perfect_detection(self):
+        truth = Partition.from_labels([0] * 5 + [1] * 5)
+        assert community_precision(range(5), truth.members(0)) == 1.0
+        assert community_recall(range(5), truth.members(0)) == 1.0
+        assert community_f_score(range(5), truth.members(0)) == 1.0
+
+    def test_partial_detection(self):
+        truth = set(range(10))
+        detected = set(range(5)) | {20, 21}
+        assert community_precision(detected, truth) == pytest.approx(5 / 7)
+        assert community_recall(detected, truth) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert community_precision([], range(5)) == 0.0
+        assert community_recall(range(5), []) == 0.0
+        assert community_f_score([], []) == 0.0
+
+    def test_score_community_counts(self):
+        truth = Partition.from_labels([0] * 4 + [1] * 4)
+        score = score_community(0, [0, 1, 4], truth)
+        assert score.intersection_size == 2
+        assert score.detected_size == 3
+        assert score.truth_size == 4
+        assert score.f_score == pytest.approx(2 * (2 / 3) * 0.5 / ((2 / 3) + 0.5))
+
+    def test_score_community_unassigned_seed_raises(self):
+        truth = Partition.from_labels([0, -1])
+        with pytest.raises(MetricError):
+            score_community(1, [1], truth)
+
+    def test_score_detection_and_average(self):
+        truth = Partition.from_labels([0] * 5 + [1] * 5)
+        detection = _detection([(0, list(range(5))), (9, list(range(5, 10)))], 10)
+        scores = score_detection(detection, truth)
+        assert len(scores) == 2
+        assert average_f_score(detection, truth) == 1.0
+        assert average_f_score(scores) == 1.0
+
+    def test_average_f_score_requires_truth_for_detection(self):
+        detection = _detection([(0, [0])], 2)
+        with pytest.raises(MetricError):
+            average_f_score(detection)
+
+    def test_size_mismatch_rejected(self):
+        truth = Partition.from_labels([0, 0])
+        detection = _detection([(0, [0])], 3)
+        with pytest.raises(MetricError):
+            score_detection(detection, truth)
+
+    def test_partition_average_f_score(self):
+        truth = Partition.from_labels([0] * 5 + [1] * 5)
+        perfect = Partition.from_labels([1] * 5 + [0] * 5)  # swapped labels
+        assert partition_average_f_score(perfect, truth) == 1.0
+        noisy = Partition.from_labels([0] * 4 + [1] * 6)
+        assert 0.5 < partition_average_f_score(noisy, truth) < 1.0
+
+    @given(st.lists(st.integers(0, 3), min_size=4, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_f_score_bounded(self, labels):
+        truth = Partition.from_labels([i % 2 for i in range(len(labels))])
+        predicted = Partition.from_labels(labels)
+        value = partition_average_f_score(predicted, truth)
+        assert 0.0 <= value <= 1.0
+
+
+class TestClusteringMetrics:
+    def test_identical_partitions_max_scores(self):
+        a = Partition.from_labels([0, 0, 1, 1, 2, 2])
+        b = Partition.from_labels([5, 5, 9, 9, 7, 7])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+        assert purity(a, b) == pytest.approx(1.0)
+
+    def test_single_cluster_vs_split(self):
+        whole = Partition.single_community(8)
+        split = Partition.from_labels([0] * 4 + [1] * 4)
+        assert normalized_mutual_information(whole, split) == pytest.approx(0.0, abs=1e-9)
+        assert adjusted_rand_index(whole, split) == pytest.approx(0.0, abs=1e-9)
+
+    def test_contingency_table_counts(self):
+        a = Partition.from_labels([0, 0, 1, 1])
+        b = Partition.from_labels([0, 1, 0, 1])
+        table = contingency_table(a, b)
+        assert table.sum() == 4
+        assert table.shape == (2, 2)
+        assert (table == 1).all()
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            normalized_mutual_information(
+                Partition.from_labels([0, 1]), Partition.from_labels([0, 1, 1])
+            )
+
+    def test_no_common_assignment_rejected(self):
+        a = Partition.from_labels([0, -1])
+        b = Partition.from_labels([-1, 0])
+        with pytest.raises(MetricError):
+            adjusted_rand_index(a, b)
+
+    @given(st.lists(st.integers(0, 4), min_size=4, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_metric_ranges(self, labels):
+        predicted = Partition.from_labels(labels)
+        truth = Partition.from_labels([i % 3 for i in range(len(labels))])
+        assert 0.0 <= normalized_mutual_information(predicted, truth) <= 1.0
+        assert -1.0 <= adjusted_rand_index(predicted, truth) <= 1.0
+        assert 0.0 <= purity(predicted, truth) <= 1.0
+
+
+class TestGraphQuality:
+    def test_clique_quality(self, two_cliques_graph):
+        quality = community_quality(two_cliques_graph, range(5))
+        assert quality.size == 5
+        assert quality.internal_edges == 10
+        assert quality.cut_edges == 1
+        assert quality.internal_density == 1.0
+        assert quality.conductance == pytest.approx(1 / 21)
+
+    def test_empty_community_rejected(self, two_cliques_graph):
+        with pytest.raises(MetricError):
+            community_quality(two_cliques_graph, [])
+
+    def test_partition_quality_and_modularity(self, two_cliques_graph):
+        partition = Partition.from_labels([0] * 5 + [1] * 5)
+        qualities = partition_quality(two_cliques_graph, partition)
+        assert len(qualities) == 2
+        assert detected_modularity(two_cliques_graph, partition) > 0.3
+        assert intra_edge_fraction(two_cliques_graph, partition) == pytest.approx(20 / 21)

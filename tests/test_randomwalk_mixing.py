@@ -1,0 +1,136 @@
+"""Tests for mixing times and local mixing sets (Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import MixingError
+from repro.graphs import Graph, gnp_random_graph
+from repro.randomwalk import (
+    WalkDistribution,
+    best_mixing_subset_of_size,
+    distance_to_stationarity,
+    graph_mixing_time,
+    local_mixing_deficit,
+    local_mixing_time,
+    mixes_locally,
+    mixing_time_from_source,
+    spectral_mixing_time_bound,
+)
+
+
+class TestGlobalMixing:
+    def test_distance_decreases_with_length(self, small_gnp_graph):
+        early = distance_to_stationarity(small_gnp_graph, 0, 1)
+        late = distance_to_stationarity(small_gnp_graph, 0, 20)
+        assert late < early
+
+    def test_mixing_time_is_logarithmic_for_gnp(self, small_gnp_graph):
+        n = small_gnp_graph.num_vertices
+        tau = mixing_time_from_source(small_gnp_graph, 0)
+        assert 1 <= tau <= 6 * math.ceil(math.log(n))
+
+    def test_complete_graph_mixes_immediately(self):
+        complete = Graph(8, [(i, j) for i in range(8) for j in range(i + 1, 8)])
+        assert mixing_time_from_source(complete, 0) <= 2
+
+    def test_graph_mixing_time_is_max_over_sources(self, small_gnp_graph):
+        sources = [0, 1, 2]
+        per_source = [mixing_time_from_source(small_gnp_graph, s) for s in sources]
+        assert graph_mixing_time(small_gnp_graph, sources=sources) == max(per_source)
+
+    def test_bipartite_walk_requires_lazy(self):
+        # A 4-cycle is bipartite: the plain walk oscillates and never mixes.
+        cycle = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        with pytest.raises(MixingError):
+            mixing_time_from_source(cycle, 0, max_steps=50)
+        assert mixing_time_from_source(cycle, 0, lazy=True) < 50
+
+    def test_invalid_epsilon(self, triangle_graph):
+        with pytest.raises(MixingError):
+            mixing_time_from_source(triangle_graph, 0, epsilon=0.0)
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(MixingError):
+            mixing_time_from_source(Graph(3, []), 0)
+
+    def test_spectral_bound_dominates_measured(self, small_gnp_graph):
+        measured = mixing_time_from_source(small_gnp_graph, 0)
+        bound = spectral_mixing_time_bound(small_gnp_graph)
+        assert bound >= measured - 1
+
+    def test_empty_sources_rejected(self, triangle_graph):
+        with pytest.raises(MixingError):
+            graph_mixing_time(triangle_graph, sources=[])
+
+
+class TestLocalMixing:
+    def test_deficit_zero_at_restricted_stationarity(self, two_cliques_graph):
+        # Once the walk has fully mixed, the deficit on the whole vertex set
+        # approaches zero.
+        walk = WalkDistribution(two_cliques_graph, 0)
+        walk.run_to(200)
+        deficit = local_mixing_deficit(two_cliques_graph, walk.probabilities(), range(10))
+        assert deficit < 0.05
+
+    def test_mixes_locally_threshold(self, two_cliques_graph):
+        walk = WalkDistribution(two_cliques_graph, 0)
+        assert not mixes_locally(two_cliques_graph, walk.probabilities(), range(10))
+        walk.run_to(200)
+        assert mixes_locally(two_cliques_graph, walk.probabilities(), range(10))
+
+    def test_empty_subset_rejected(self, two_cliques_graph):
+        walk = WalkDistribution(two_cliques_graph, 0)
+        with pytest.raises(MixingError):
+            local_mixing_deficit(two_cliques_graph, walk.probabilities(), [])
+
+    def test_best_subset_recovers_clique(self, two_cliques_graph):
+        # After a few steps from a clique vertex the walk is concentrated on
+        # that clique: the best 5-vertex subset should be (close to) it.
+        walk = WalkDistribution(two_cliques_graph, 1)
+        walk.run_to(4)
+        subset, deficit = best_mixing_subset_of_size(two_cliques_graph, walk.probabilities(), 5)
+        assert len(subset & set(range(5))) >= 4
+        assert deficit < 1.0
+
+    def test_best_subset_size_validation(self, two_cliques_graph):
+        walk = WalkDistribution(two_cliques_graph, 0)
+        with pytest.raises(MixingError):
+            best_mixing_subset_of_size(two_cliques_graph, walk.probabilities(), 0)
+        with pytest.raises(MixingError):
+            best_mixing_subset_of_size(two_cliques_graph, walk.probabilities(), 11)
+
+    def test_local_mixing_time_beta_one_equals_global_scale(self, small_gnp_graph):
+        result = local_mixing_time(small_gnp_graph, 0, beta=1.0)
+        assert result.time is not None
+        assert result.mixing_set is not None
+        assert len(result.mixing_set) == small_gnp_graph.num_vertices
+
+    def test_local_mixing_time_smaller_for_larger_beta(self, small_gnp_graph):
+        global_scale = local_mixing_time(small_gnp_graph, 0, beta=1.0)
+        local_scale = local_mixing_time(small_gnp_graph, 0, beta=8.0)
+        assert local_scale.time is not None
+        assert local_scale.time <= global_scale.time
+
+    def test_explicit_candidate_sets(self, two_cliques_graph):
+        result = local_mixing_time(
+            two_cliques_graph, 0, beta=2.0, candidate_sets=[range(5)]
+        )
+        assert result.time is not None
+        assert result.mixing_set == frozenset(range(5))
+
+    def test_candidate_set_must_contain_source(self, two_cliques_graph):
+        with pytest.raises(MixingError):
+            local_mixing_time(two_cliques_graph, 0, beta=2.0, candidate_sets=[range(5, 10)])
+
+    def test_candidate_set_too_small_rejected(self, two_cliques_graph):
+        with pytest.raises(MixingError):
+            local_mixing_time(two_cliques_graph, 0, beta=2.0, candidate_sets=[[0, 1]])
+
+    def test_invalid_parameters(self, two_cliques_graph):
+        with pytest.raises(MixingError):
+            local_mixing_time(two_cliques_graph, 0, beta=0.5)
+        with pytest.raises(MixingError):
+            local_mixing_time(two_cliques_graph, 99)
