@@ -18,6 +18,7 @@ import sys
 from typing import Sequence
 
 from .experiments import (
+    batched_detection_scaling,
     compare_baselines,
     congest_scaling,
     figure1_stats,
@@ -73,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("--n", type=int, default=1024)
     baselines.add_argument("--blocks", type=int, default=2)
 
+    batched = subparsers.add_parser(
+        "batched", help="multi-seed detection throughput: scalar loop vs batched walks"
+    )
+    batched.add_argument("--n", type=int, default=1024)
+    batched.add_argument("--blocks", type=int, default=4)
+    batched.add_argument("--num-seeds", type=int, default=16)
+    batched.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16])
+
     return parser
 
 
@@ -107,6 +116,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif arguments.command == "baselines":
         table = compare_baselines(
             n=arguments.n, num_blocks=arguments.blocks, seed=arguments.seed
+        )
+    elif arguments.command == "batched":
+        table = batched_detection_scaling(
+            n=arguments.n,
+            num_blocks=arguments.blocks,
+            num_seeds=arguments.num_seeds,
+            batch_sizes=tuple(arguments.batch_sizes),
+            seed=arguments.seed,
         )
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {arguments.command!r}")

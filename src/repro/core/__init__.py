@@ -10,6 +10,7 @@ from .mixing_set import (
 from .stopping import GrowthStoppingRule, StoppingDecision
 from .result import CommunityResult, DetectionResult
 from .cdrw import detect_communities, detect_community
+from .batched import detect_communities_batched, detect_community_batch
 from .parallel import detect_communities_parallel, select_spread_seeds
 
 __all__ = [
@@ -23,7 +24,9 @@ __all__ = [
     "CommunityResult",
     "DetectionResult",
     "detect_communities",
+    "detect_communities_batched",
     "detect_community",
+    "detect_community_batch",
     "detect_communities_parallel",
     "select_spread_seeds",
 ]

@@ -1,0 +1,230 @@
+"""Batched multi-seed CDRW execution.
+
+The sequential pool loop of :func:`repro.core.cdrw.detect_communities` runs
+one full community detection per drawn seed.  Each detection is independent
+of the pool state — ``detect_community(graph, s)`` depends only on the graph
+and ``s`` — so several seeds can share the expensive part of the work: the
+per-step walk advance.  :func:`detect_community_batch` runs ``B`` detections
+simultaneously on top of one
+:class:`~repro.randomwalk.batched.BatchedWalkDistribution` (one CSR
+sparse-matrix–matrix product per walk step instead of ``B`` matrix–vector
+products), while the per-seed mixing-set search and stopping rule execute
+the *same code* as the scalar path on each walk's column.
+
+Because the batched walk columns are bit-identical to scalar walks (see
+:mod:`repro.randomwalk.batched`), every ``CommunityResult`` produced here is
+**identical** to what :func:`repro.core.cdrw.detect_community` returns for
+the same seed — same community, same history, same stop reason.  Walks whose
+detection stops early are dropped from the batch (``retain``), so a batch
+costs no more steps than its slowest member.
+
+:func:`detect_communities_batched` is the pool-driver counterpart.  It keeps
+the not-yet-assigned pool as a boolean membership array and supports two
+modes:
+
+* **explicit seeds** — process a caller-fixed seed list in batches; the
+  result is identical to mapping ``detect_community`` over the list;
+* **pool mode** — draw up to ``batch_size`` seeds per round from the pool.
+  Draws within one round exclude the seeds already drawn in that round but
+  (necessarily) not their still-unknown communities; with ``batch_size=1``
+  the RNG draw sequence and the output are identical to the sequential
+  :func:`~repro.core.cdrw.detect_communities`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..graphs.graph import Graph
+from ..randomwalk.batched import BatchedWalkDistribution
+from ..utils import as_rng
+from .cdrw import _ensure_seed, _remove_detected
+from .mixing_set import LargestMixingSet, MixingSetSearch
+from .parameters import CDRWParameters
+from .result import CommunityResult, DetectionResult
+from .stopping import GrowthStoppingRule
+
+__all__ = ["detect_community_batch", "detect_communities_batched"]
+
+
+def detect_community_batch(
+    graph: Graph,
+    seeds: list[int] | tuple[int, ...] | np.ndarray,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+) -> list[CommunityResult]:
+    """Detect the community of every seed in ``seeds``, sharing one batched walk.
+
+    Returns one :class:`CommunityResult` per seed, in input order, identical
+    to ``[detect_community(graph, s, parameters, delta_hint) for s in seeds]``
+    (asserted by ``tests/test_batched_detection.py``).  Duplicate seeds are
+    allowed and produce duplicate results.
+    """
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        return []
+    for seed_vertex in seed_list:
+        if seed_vertex not in graph:
+            raise AlgorithmError(f"seed vertex {seed_vertex} is not a vertex of {graph!r}")
+    if graph.num_edges == 0:
+        # Isolated seeds trivially form their own communities (scalar fast path).
+        return [
+            CommunityResult(
+                seed=seed_vertex,
+                community=frozenset({seed_vertex}),
+                walk_length=0,
+                history=(),
+                stop_reason="graph has no edges",
+                delta=0.0,
+            )
+            for seed_vertex in seed_list
+        ]
+    parameters = parameters or CDRWParameters()
+
+    delta = parameters.resolve_delta(graph, delta_hint)
+    initial_size = parameters.resolve_initial_size(graph)
+    max_walk_length = parameters.resolve_max_walk_length(graph)
+
+    # The search is stateless across walk lengths, so one instance serves the
+    # whole batch; the stopping rule is stateful and stays per-seed.
+    search = MixingSetSearch(
+        graph,
+        initial_size=initial_size,
+        mixing_threshold=parameters.mixing_threshold,
+        growth_factor=parameters.growth_factor,
+        schedule=parameters.size_schedule,
+        stop_at_first_failure=parameters.stop_at_first_failure,
+        min_mass=parameters.min_mass,
+    )
+    stoppings = [GrowthStoppingRule(delta=delta) for _ in seed_list]
+    walk = BatchedWalkDistribution(graph, seed_list, lazy=parameters.lazy_walk)
+
+    num_seeds = len(seed_list)
+    histories: list[list[LargestMixingSet]] = [[] for _ in range(num_seeds)]
+    last_found: list[LargestMixingSet | None] = [None] * num_seeds
+    finished: dict[int, CommunityResult] = {}
+    active = list(range(num_seeds))  # walk column c holds seed index active[c]
+
+    for length in range(1, max_walk_length + 1):
+        walk.step()
+        stopped_columns: set[int] = set()
+        for column, index in enumerate(active):
+            current = search.largest_mixing_set(walk.column(column), length)
+            histories[index].append(current)
+            if current.found:
+                last_found[index] = current
+            decision = stoppings[index].observe(current)
+            if decision.should_stop and decision.community is not None:
+                finished[index] = CommunityResult(
+                    seed=seed_list[index],
+                    community=_ensure_seed(decision.community.members, seed_list[index]),
+                    walk_length=length,
+                    history=tuple(histories[index]),
+                    stop_reason=decision.reason,
+                    delta=delta,
+                )
+                stopped_columns.add(column)
+        if stopped_columns:
+            keep = [c for c in range(len(active)) if c not in stopped_columns]
+            active = [active[c] for c in keep]
+            if not active:
+                break
+            walk.retain(keep)
+
+    # Budget exhausted without triggering the growth rule for the survivors:
+    # fall back to the last mixing set found, or the seed alone (scalar rule).
+    for index in active:
+        if last_found[index] is not None:
+            members = _ensure_seed(last_found[index].members, seed_list[index])
+            stop_reason = "walk length budget exhausted"
+        else:
+            members = frozenset({seed_list[index]})
+            stop_reason = "no mixing set found within the walk budget"
+        finished[index] = CommunityResult(
+            seed=seed_list[index],
+            community=members,
+            walk_length=max_walk_length,
+            history=tuple(histories[index]),
+            stop_reason=stop_reason,
+            delta=delta,
+        )
+    return [finished[index] for index in range(num_seeds)]
+
+
+def detect_communities_batched(
+    graph: Graph,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    max_seeds: int | None = None,
+    batch_size: int = 8,
+    seeds: list[int] | tuple[int, ...] | np.ndarray | None = None,
+) -> DetectionResult:
+    """Run the pool loop of Algorithm 1 with batched multi-seed detection.
+
+    Parameters
+    ----------
+    seed:
+        Random seed (or generator) controlling pool draws (pool mode only).
+    max_seeds:
+        Optional cap on the number of seeds processed.
+    batch_size:
+        How many seeds are detected per batched pass.  ``1`` reproduces the
+        sequential :func:`~repro.core.cdrw.detect_communities` exactly
+        (identical RNG draws and communities).
+    seeds:
+        Optional explicit seed vertices.  When given, the pool and ``seed``
+        are ignored and the listed seeds are processed in order — identical
+        output to a sequential loop of ``detect_community`` over the list.
+
+    Notes
+    -----
+    In pool mode with ``batch_size > 1`` the draws inside one round cannot
+    see the communities of the other seeds in the same round (they are being
+    detected simultaneously), so the drawn seed sequence differs from the
+    sequential loop's; each individual result is still exactly what the
+    sequential algorithm would report for that seed.
+    """
+    if batch_size < 1:
+        raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
+    parameters = parameters or CDRWParameters()
+
+    if seeds is not None:
+        seed_list = [int(s) for s in seeds]
+        if max_seeds is not None:
+            seed_list = seed_list[:max_seeds]
+        results: list[CommunityResult] = []
+        for start in range(0, len(seed_list), batch_size):
+            results.extend(
+                detect_community_batch(
+                    graph, seed_list[start:start + batch_size], parameters, delta_hint
+                )
+            )
+        return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
+
+    rng = as_rng(seed)
+    pool = np.ones(graph.num_vertices, dtype=bool)
+    remaining = graph.num_vertices
+    results = []
+    while remaining > 0:
+        if max_seeds is not None and len(results) >= max_seeds:
+            break
+        width = min(batch_size, remaining)
+        if max_seeds is not None:
+            width = min(width, max_seeds - len(results))
+        round_seeds: list[int] = []
+        for _ in range(width):
+            candidates = np.flatnonzero(pool)
+            if candidates.size == 0:
+                break
+            drawn = int(rng.choice(candidates))
+            round_seeds.append(drawn)
+            pool[drawn] = False
+            remaining -= 1
+        if not round_seeds:
+            break
+        for result in detect_community_batch(graph, round_seeds, parameters, delta_hint):
+            results.append(result)
+            remaining -= _remove_detected(pool, result)
+    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))

@@ -15,6 +15,10 @@ the cost of simulating individual messages, which keeps the accuracy
 experiments of Figures 2-4 fast.  The message-level implementations live in
 :mod:`repro.congest.cdrw_congest` and :mod:`repro.kmachine.cdrw_kmachine`;
 equivalence on small graphs is covered by integration tests.
+
+For many seeds at once, :mod:`repro.core.batched` runs several detections on
+one shared batched walk (one sparse matrix–matrix product per step) and
+produces results identical to the entry points here.
 """
 
 from __future__ import annotations
@@ -162,20 +166,40 @@ def detect_communities(
     parameters = parameters or CDRWParameters()
     rng = as_rng(seed)
 
-    pool = set(range(graph.num_vertices))
+    # The pool of not-yet-assigned vertices is a boolean membership array:
+    # drawing a seed is one O(n) flatnonzero instead of the former
+    # O(n log n) `sorted(set)` per draw.  `np.flatnonzero` yields candidates
+    # in ascending order, exactly like `sorted(pool)` did, so the RNG draw
+    # sequence (and therefore every detected community) is unchanged — this
+    # is regression-tested against a recorded seed order.
+    pool = np.ones(graph.num_vertices, dtype=bool)
+    remaining = graph.num_vertices
     results: list[CommunityResult] = []
-    while pool:
+    while remaining > 0:
         if max_seeds is not None and len(results) >= max_seeds:
             break
-        seed_vertex = int(rng.choice(sorted(pool)))
+        seed_vertex = int(rng.choice(np.flatnonzero(pool)))
         result = detect_community(graph, seed_vertex, parameters, delta_hint=delta_hint)
         results.append(result)
-        detected = result.community if result.community else frozenset({seed_vertex})
-        # Remove the detected community from the pool; always remove the seed
-        # itself so the loop is guaranteed to terminate.
-        pool.difference_update(detected)
-        pool.discard(seed_vertex)
+        remaining -= _remove_detected(pool, result)
     return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
+
+
+def _remove_detected(pool: np.ndarray, result: CommunityResult) -> int:
+    """Clear a detected community (and always its seed) from the pool mask.
+
+    Returns the number of vertices actually removed.  Shared by the
+    sequential and batched pool drivers so their bookkeeping cannot diverge —
+    the batch_size=1 output-identity guarantee depends on it.
+    """
+    detected = result.community if result.community else frozenset({result.seed})
+    removal = np.fromiter(detected, dtype=np.int64, count=len(detected))
+    removed = int(pool[removal].sum())
+    pool[removal] = False
+    if pool[result.seed]:
+        pool[result.seed] = False
+        removed += 1
+    return removed
 
 
 def _ensure_seed(members: frozenset[int], seed_vertex: int) -> frozenset[int]:

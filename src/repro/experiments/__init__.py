@@ -1,6 +1,7 @@
 """Experiment harness: figure grids, complexity sweeps and baseline comparisons."""
 
-from .runner import ExperimentRow, ExperimentTable, TrialAggregate, run_trials
+from .runner import ExperimentRow, ExperimentTable, TrialAggregate, run_timed, run_trials
+from .batched_detection import batched_detection_scaling
 from .parameters import PROBABILITY_SPECS, RATIO_SPECS, ProbabilitySpec, RatioSpec
 from .figures import (
     cdrw_f_score_on_gnp,
@@ -19,7 +20,9 @@ __all__ = [
     "ExperimentRow",
     "ExperimentTable",
     "TrialAggregate",
+    "run_timed",
     "run_trials",
+    "batched_detection_scaling",
     "PROBABILITY_SPECS",
     "RATIO_SPECS",
     "ProbabilitySpec",

@@ -1,0 +1,106 @@
+"""Throughput scaling of the batched multi-seed CDRW path.
+
+The batched executor (:mod:`repro.core.batched`) detects several seed
+communities on top of one shared sparse-matrix–matrix walk advance.  This
+experiment quantifies the wall-clock effect: it draws a fixed set of seed
+vertices on a PPM instance, runs the scalar per-seed loop once as the
+baseline, then re-detects the *same* seeds at increasing batch widths,
+reporting seconds, speedup over the scalar loop, accuracy against the
+planted partition, and a bit confirming the batched results are identical
+to the scalar ones (they always are — the batched walk columns are
+bit-identical to scalar walks).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.batched import detect_communities_batched
+from ..core.cdrw import detect_community
+from ..core.parameters import CDRWParameters
+from ..core.result import DetectionResult
+from ..exceptions import ExperimentError
+from ..graphs.generators import planted_partition_graph
+from ..graphs.properties import ppm_expected_conductance
+from ..metrics.scores import average_f_score
+from ..utils import as_rng
+from .runner import ExperimentTable, run_timed
+
+__all__ = ["batched_detection_scaling"]
+
+
+def batched_detection_scaling(
+    n: int = 1024,
+    num_blocks: int = 4,
+    num_seeds: int = 16,
+    batch_sizes: tuple[int, ...] = (1, 4, 16),
+    seed: int = 0,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Measure batched multi-seed detection throughput on one PPM instance.
+
+    Parameters
+    ----------
+    n, num_blocks:
+        The PPM instance (paper-style ``p = 2 log²n / n`` within blocks).
+    num_seeds:
+        How many seed vertices are detected; the same seeds are reused for
+        every row so the timings are directly comparable.
+    batch_sizes:
+        Batch widths to measure, each as one row next to the scalar baseline.
+    """
+    if num_seeds < 1:
+        raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
+    if not batch_sizes:
+        raise ExperimentError("batch_sizes must not be empty")
+    rng = as_rng(seed)
+    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+    q = 1.0 / n
+    instance = planted_partition_graph(n, num_blocks, p, q, seed=rng)
+    graph, truth = instance.graph, instance.partition
+    delta = ppm_expected_conductance(n, num_blocks, p, q)
+    seeds = [int(v) for v in rng.choice(n, size=min(num_seeds, n), replace=False)]
+
+    table = ExperimentTable(
+        name="batched_detection_scaling",
+        description=(
+            f"Multi-seed CDRW throughput on PPM n={n}, r={num_blocks}: "
+            f"{len(seeds)} seeds, scalar loop vs batched walk advance"
+        ),
+    )
+
+    def scalar_loop() -> DetectionResult:
+        results = tuple(
+            detect_community(graph, s, parameters, delta_hint=delta) for s in seeds
+        )
+        return DetectionResult(num_vertices=n, communities=results)
+
+    baseline, baseline_seconds = run_timed(scalar_loop)
+    table.add_row(
+        {"path": "scalar", "batch_size": 1},
+        {
+            "seconds": baseline_seconds,
+            "speedup": 1.0,
+            "f_score": average_f_score(baseline, truth),
+            "identical": 1.0,
+        },
+    )
+    for batch_size in batch_sizes:
+        detection, seconds = run_timed(
+            detect_communities_batched,
+            graph,
+            parameters,
+            delta_hint=delta,
+            batch_size=int(batch_size),
+            seeds=seeds,
+        )
+        table.add_row(
+            {"path": "batched", "batch_size": int(batch_size)},
+            {
+                "seconds": seconds,
+                "speedup": baseline_seconds / seconds if seconds > 0 else float("inf"),
+                "f_score": average_f_score(detection, truth),
+                "identical": float(detection == baseline),
+            },
+        )
+    return table

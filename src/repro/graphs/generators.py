@@ -98,42 +98,57 @@ def dense_intra_probability(n: int, factor: float = 2.0) -> float:
 # ----------------------------------------------------------------------
 # Pair sampling helpers
 # ----------------------------------------------------------------------
+_NO_EDGES = np.empty((0, 2), dtype=np.int64)
+
+
 def _sample_within_block_edges(
     block: np.ndarray, p: float, rng: np.random.Generator
-) -> list[tuple[int, int]]:
-    """Sample G(|block|, p) edges among the vertex IDs in ``block``."""
+) -> np.ndarray:
+    """Sample G(|block|, p) edges among the vertex IDs in ``block``.
+
+    Returns an ``(k, 2)`` int64 array — the count is drawn from a binomial
+    and the pairs are decoded from linear upper-triangle indices, so no
+    per-pair Python loop runs at any density.
+    """
     size = len(block)
     total_pairs = size * (size - 1) // 2
     if total_pairs == 0 or p <= 0.0:
-        return []
+        return _NO_EDGES
     if p >= 1.0:
-        return [(int(block[i]), int(block[j])) for i in range(size) for j in range(i + 1, size)]
+        i, j = np.triu_indices(size, k=1)
+        return np.column_stack([block[i], block[j]]).astype(np.int64, copy=False)
     count = rng.binomial(total_pairs, p)
     if count == 0:
-        return []
+        return _NO_EDGES
     # Sample `count` distinct pair indices without replacement, then decode the
     # linear index into an (i, j) pair with i < j.
     chosen = rng.choice(total_pairs, size=count, replace=False)
     i, j = _decode_pair_indices(chosen, size)
-    return list(zip(block[i].tolist(), block[j].tolist()))
+    return np.column_stack([block[i], block[j]]).astype(np.int64, copy=False)
 
 
 def _sample_between_block_edges(
     block_a: np.ndarray, block_b: np.ndarray, q: float, rng: np.random.Generator
-) -> list[tuple[int, int]]:
-    """Sample bipartite edges between two disjoint blocks, each with probability q."""
+) -> np.ndarray:
+    """Sample bipartite edges between two disjoint blocks, each with probability q.
+
+    Returns an ``(k, 2)`` int64 array, decoded from linear indices over the
+    ``|A|×|B|`` pair grid without a Python loop.
+    """
     total_pairs = len(block_a) * len(block_b)
     if total_pairs == 0 or q <= 0.0:
-        return []
+        return _NO_EDGES
     if q >= 1.0:
-        return [(int(u), int(v)) for u in block_a for v in block_b]
+        u = np.repeat(block_a, len(block_b))
+        v = np.tile(block_b, len(block_a))
+        return np.column_stack([u, v]).astype(np.int64, copy=False)
     count = rng.binomial(total_pairs, q)
     if count == 0:
-        return []
+        return _NO_EDGES
     chosen = rng.choice(total_pairs, size=count, replace=False)
     rows = chosen // len(block_b)
     cols = chosen % len(block_b)
-    return list(zip(block_a[rows].tolist(), block_b[cols].tolist()))
+    return np.column_stack([block_a[rows], block_b[cols]]).astype(np.int64, copy=False)
 
 
 def _decode_pair_indices(linear: np.ndarray, size: int) -> tuple[np.ndarray, np.ndarray]:
@@ -171,7 +186,7 @@ def gnp_random_graph(
     rng = as_rng(seed)
     vertices = np.arange(n, dtype=np.int64)
     edges = _sample_within_block_edges(vertices, p, rng)
-    return Graph(n, edges)
+    return Graph.from_edge_array(n, edges)
 
 
 def planted_partition_graph(
@@ -208,14 +223,14 @@ def planted_partition_graph(
         for i in range(num_blocks)
     ]
 
-    edges: list[tuple[int, int]] = []
+    chunks: list[np.ndarray] = []
     for block in blocks:
-        edges.extend(_sample_within_block_edges(block, p, rng))
+        chunks.append(_sample_within_block_edges(block, p, rng))
     for i in range(num_blocks):
         for j in range(i + 1, num_blocks):
-            edges.extend(_sample_between_block_edges(blocks[i], blocks[j], q, rng))
+            chunks.append(_sample_between_block_edges(blocks[i], blocks[j], q, rng))
 
-    graph = Graph(n, edges)
+    graph = Graph.from_edge_array(n, np.concatenate(chunks, axis=0))
     labels = np.repeat(np.arange(num_blocks, dtype=np.int64), block_size)
     partition = Partition.from_labels(labels)
     return PlantedPartition(
@@ -257,13 +272,13 @@ def stochastic_block_model_graph(
     n = int(offsets[-1])
     blocks = [np.arange(offsets[i], offsets[i + 1], dtype=np.int64) for i in range(r)]
 
-    edges: list[tuple[int, int]] = []
+    chunks: list[np.ndarray] = []
     for i in range(r):
-        edges.extend(_sample_within_block_edges(blocks[i], float(matrix[i, i]), rng))
+        chunks.append(_sample_within_block_edges(blocks[i], float(matrix[i, i]), rng))
         for j in range(i + 1, r):
-            edges.extend(_sample_between_block_edges(blocks[i], blocks[j], float(matrix[i, j]), rng))
+            chunks.append(_sample_between_block_edges(blocks[i], blocks[j], float(matrix[i, j]), rng))
 
-    graph = Graph(n, edges)
+    graph = Graph.from_edge_array(n, np.concatenate(chunks, axis=0))
     labels = np.concatenate(
         [np.full(sizes[i], i, dtype=np.int64) for i in range(r)]
     )

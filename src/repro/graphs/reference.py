@@ -1,0 +1,135 @@
+"""Scalar reference kernels — the pre-vectorization graph implementations.
+
+The CSR construction and the subset operations of :class:`~repro.graphs.graph.Graph`
+were originally written as per-vertex Python loops.  When the hot paths were
+vectorized, the original kernels were preserved here, for two reasons:
+
+* **equivalence testing** — ``tests/test_vectorized_equivalence.py`` asserts
+  that the vectorized kernels produce results identical to these references
+  on randomized and adversarial inputs, and
+* **benchmark baselines** — ``benchmarks/bench_graph_kernel.py`` measures the
+  vectorized speedup against these functions.
+
+The functions intentionally mirror the original code line for line (including
+its validation and tie-breaking behaviour); do not "improve" them — their
+value is being a faithful snapshot of the scalar semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .graph import Graph
+
+__all__ = [
+    "scalar_csr_arrays",
+    "scalar_cut_size",
+    "scalar_induced_edge_count",
+    "scalar_induced_subgraph_edges",
+    "scalar_edge_array",
+]
+
+
+def scalar_csr_arrays(
+    num_vertices: int, edges: Iterable[tuple[int, int]]
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Build CSR adjacency the original way: one tuple at a time through a set.
+
+    Returns ``(num_edges, degrees, indptr, indices)`` — exactly the arrays the
+    original ``Graph.__init__`` computed.
+    """
+    n = int(num_vertices)
+    if n < 0:
+        raise GraphError(f"number of vertices must be non-negative, got {num_vertices}")
+    unique: set[tuple[int, int]] = set()
+    for u, v in edges:
+        u = int(u)
+        v = int(v)
+        if u == v:
+            raise GraphError(f"self loops are not allowed (vertex {u})")
+        if not (0 <= u < n) or not (0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) out of range for a graph on {n} vertices")
+        unique.add((u, v) if u < v else (v, u))
+
+    num_edges = len(unique)
+    if unique:
+        edge_array = np.asarray(sorted(unique), dtype=np.int64)
+        sources = np.concatenate([edge_array[:, 0], edge_array[:, 1]])
+        targets = np.concatenate([edge_array[:, 1], edge_array[:, 0]])
+    else:
+        sources = np.empty(0, dtype=np.int64)
+        targets = np.empty(0, dtype=np.int64)
+
+    order = np.lexsort((targets, sources))
+    sources = sources[order]
+    targets = targets[order]
+    counts = np.bincount(sources, minlength=n)
+    degrees = counts.astype(np.int64)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return num_edges, degrees, indptr, targets
+
+
+def _membership(graph: "Graph", indices: np.ndarray) -> np.ndarray:
+    membership = np.zeros(graph.num_vertices, dtype=bool)
+    membership[indices] = True
+    return membership
+
+
+def scalar_cut_size(graph: "Graph", subset: Iterable[int]) -> int:
+    """``|E(S, V\\S)|`` computed with the original per-vertex loop."""
+    indices = np.fromiter((int(v) for v in subset), dtype=np.int64)
+    membership = _membership(graph, indices)
+    if not membership.any() or membership.all():
+        return 0
+    cut = 0
+    for u in indices:
+        cut += int(np.count_nonzero(~membership[graph.neighbors(int(u))]))
+    return cut
+
+
+def scalar_induced_edge_count(graph: "Graph", subset: Iterable[int]) -> int:
+    """Edges inside ``subset`` computed with the original per-vertex loop."""
+    indices = np.fromiter((int(v) for v in subset), dtype=np.int64)
+    membership = _membership(graph, indices)
+    inside_arcs = 0
+    for u in indices:
+        inside_arcs += int(np.count_nonzero(membership[graph.neighbors(int(u))]))
+    return inside_arcs // 2
+
+
+def scalar_induced_subgraph_edges(
+    graph: "Graph", subset: Sequence[int]
+) -> tuple[int, list[tuple[int, int]], dict[int, int]]:
+    """The original induced-subgraph edge extraction (relabelled edge list).
+
+    Returns ``(num_sub_vertices, relabelled_edges, old_to_new_mapping)``; the
+    caller can feed these straight into a ``Graph`` constructor.
+    """
+    indices = np.fromiter((int(v) for v in subset), dtype=np.int64)
+    mapping = {int(old): new for new, old in enumerate(indices)}
+    membership = _membership(graph, indices)
+    edges: list[tuple[int, int]] = []
+    for old_u in indices:
+        new_u = mapping[int(old_u)]
+        neighbors = graph.neighbors(int(old_u))
+        for old_v in neighbors[membership[neighbors]]:
+            if int(old_u) < int(old_v):
+                edges.append((new_u, mapping[int(old_v)]))
+    return len(indices), edges, mapping
+
+
+def scalar_edge_array(graph: "Graph") -> np.ndarray:
+    """``(m, 2)`` edge array built by materializing the Python edge generator."""
+    edges = []
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            if u < v:
+                edges.append((u, int(v)))
+    if not edges:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(edges, dtype=np.int64)

@@ -9,6 +9,7 @@ from .transition import (
     transition_matrix,
 )
 from .distribution import WalkDistribution
+from .batched import BatchedWalkDistribution
 from .stationary import (
     approximate_restricted_stationary,
     l1_distance,
@@ -40,6 +41,7 @@ __all__ = [
     "step_distribution",
     "transition_matrix",
     "WalkDistribution",
+    "BatchedWalkDistribution",
     "approximate_restricted_stationary",
     "l1_distance",
     "restricted_l1_distance",

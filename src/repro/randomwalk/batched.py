@@ -1,0 +1,183 @@
+"""Batched multi-seed random-walk distributions.
+
+:class:`BatchedWalkDistribution` advances ``B`` independent walk
+distributions *simultaneously*: the per-seed probability vectors are the
+columns of an ``(n, B)`` matrix and one step is a single CSR
+sparse-matrix–matrix product ``P_ℓ = Aᵀ P_{ℓ-1}`` instead of ``B`` separate
+matrix–vector products.  The flop count per step is the same — O(m·B) — but
+the sparse operator is traversed once per step rather than ``B`` times, which
+is what makes 64-seed batches an order of magnitude faster than 64 scalar
+:class:`~repro.randomwalk.distribution.WalkDistribution` objects on large
+graphs (see ``benchmarks/bench_graph_kernel.py``).
+
+Equivalence guarantee
+---------------------
+scipy's CSR matrix–matrix kernel accumulates each output column in exactly
+the same order as its matrix–vector kernel, so column ``j`` after any number
+of steps is **bit-identical** to a scalar ``WalkDistribution`` started from
+``sources[j]`` — not merely close.  ``tests/test_batched_walk.py`` asserts
+exact equality step for step; the batched CDRW driver in
+:mod:`repro.core.batched` relies on it to reproduce the sequential
+algorithm's output exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import RandomWalkError
+from ..graphs.graph import Graph
+from .transition import lazy_transition_matrix, reverse_transition_matrix
+
+__all__ = ["BatchedWalkDistribution"]
+
+
+class BatchedWalkDistribution:
+    """``B`` exact walk distributions advanced together, one SpMM per step.
+
+    Parameters
+    ----------
+    graph:
+        Graph on which the walks run.
+    sources:
+        Seed vertices, one per walk; duplicates are allowed (the walks are
+        independent).  Must be non-empty.
+    lazy:
+        When ``True`` use the lazy walk (stay put with probability 1/2), as
+        in :class:`~repro.randomwalk.distribution.WalkDistribution`.
+    """
+
+    def __init__(self, graph: Graph, sources: Sequence[int], lazy: bool = False):
+        source_list = [int(s) for s in sources]
+        if not source_list:
+            raise RandomWalkError("batched walk needs at least one source vertex")
+        for s in source_list:
+            if s not in graph:
+                raise RandomWalkError(f"source {s} is not a vertex of {graph!r}")
+        self._graph = graph
+        self._sources = tuple(source_list)
+        self._lazy = bool(lazy)
+        if lazy:
+            self._operator: sp.csr_matrix = lazy_transition_matrix(graph).T.tocsr()
+        else:
+            self._operator = reverse_transition_matrix(graph)
+        self._distributions = np.zeros(
+            (graph.num_vertices, len(source_list)), dtype=np.float64
+        )
+        self._distributions[source_list, np.arange(len(source_list))] = 1.0
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def sources(self) -> tuple[int, ...]:
+        """The seed vertex of every walk, in column order."""
+        return self._sources
+
+    @property
+    def num_walks(self) -> int:
+        """The batch width ``B``."""
+        return len(self._sources)
+
+    @property
+    def steps(self) -> int:
+        """The number of steps taken so far (the current walk length ``ℓ``)."""
+        return self._steps
+
+    @property
+    def lazy(self) -> bool:
+        """Whether the lazy walk is used."""
+        return self._lazy
+
+    def probabilities(self) -> np.ndarray:
+        """Return the current ``(n, B)`` distribution matrix (read-only view)."""
+        view = self._distributions.view()
+        view.flags.writeable = False
+        return view
+
+    def column(self, walk: int) -> np.ndarray:
+        """Return walk ``walk``'s distribution ``p_ℓ`` as a contiguous read-only vector."""
+        if not (0 <= walk < len(self._sources)):
+            raise RandomWalkError(
+                f"walk index {walk} out of range for a batch of {len(self._sources)}"
+            )
+        vector = np.ascontiguousarray(self._distributions[:, walk])
+        vector.flags.writeable = False
+        return vector
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, count: int = 1) -> np.ndarray:
+        """Advance all walks by ``count`` steps and return the distribution matrix."""
+        if count < 0:
+            raise RandomWalkError(f"cannot step a negative number of times: {count}")
+        for _ in range(count):
+            self._distributions = self._operator @ self._distributions
+            self._steps += 1
+        return self.probabilities()
+
+    def run_to(self, length: int) -> np.ndarray:
+        """Advance all walks until their length equals ``length`` (no rewinding)."""
+        if length < self._steps:
+            raise RandomWalkError(
+                f"walks are already at length {self._steps}, cannot rewind to {length}"
+            )
+        return self.step(length - self._steps)
+
+    def restart(self) -> None:
+        """Reset every walk to length 0 (all mass at its seed)."""
+        self._distributions = np.zeros_like(self._distributions)
+        self._distributions[list(self._sources), np.arange(len(self._sources))] = 1.0
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Batch maintenance
+    # ------------------------------------------------------------------
+    def retain(self, walks: Sequence[int]) -> None:
+        """Narrow the batch to the given walk columns (in the given order).
+
+        Drivers use this to drop walks whose detection already stopped, so
+        later steps spend no flops on finished columns.  The step counter is
+        shared by all columns and is unchanged.
+        """
+        kept = np.asarray([int(w) for w in walks], dtype=np.int64)
+        if kept.size == 0:
+            raise RandomWalkError("cannot retain an empty set of walks")
+        if kept.size and (kept.min() < 0 or kept.max() >= len(self._sources)):
+            raise RandomWalkError(
+                f"walk indices {walks!r} out of range for a batch of {len(self._sources)}"
+            )
+        self._distributions = np.ascontiguousarray(self._distributions[:, kept])
+        self._sources = tuple(self._sources[int(w)] for w in kept)
+
+    # ------------------------------------------------------------------
+    # Restrictions (Section I-C)
+    # ------------------------------------------------------------------
+    def mass_in(self, subset: np.ndarray | list[int]) -> np.ndarray:
+        """Return each walk's probability mass inside ``subset`` as a ``(B,)`` vector.
+
+        Each column is summed contiguously so the result is bit-identical to
+        ``WalkDistribution.mass_in`` (an axis-0 sum over the 2-D gather would
+        block the pairwise summation differently and drift in the last ulp).
+        """
+        indices = np.asarray(list(subset), dtype=np.int64)
+        gathered = self._distributions[indices, :]
+        return np.array(
+            [float(np.ascontiguousarray(gathered[:, j]).sum()) for j in range(gathered.shape[1])]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedWalkDistribution(num_walks={len(self._sources)}, "
+            f"steps={self._steps}, lazy={self._lazy})"
+        )

@@ -52,8 +52,30 @@ def reverse_transition_matrix(graph: Graph) -> sp.csr_matrix:
 
     ``p_ℓ = Pᵀ p_{ℓ-1}`` is exactly the local flooding rule of Algorithm 1:
     each vertex ``u`` spreads ``p_{ℓ-1}(u)/d(u)`` to each neighbour.
+
+    Because the adjacency matrix is symmetric, ``Pᵀ = A·D⁻¹`` shares the
+    graph's CSR structure with entry ``(v, u) = 1/d(u)`` — so the operator is
+    assembled with a single degree gather over the adjacency structure
+    instead of materializing ``P`` and transposing it.  The values are
+    bit-identical to ``transition_matrix(graph).T`` (asserted in tests).
     """
-    return transition_matrix(graph).T.tocsr()
+    adjacency = graph.adjacency_matrix()
+    degrees = graph.degrees().astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inverse_degrees = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    # Copy the structure arrays: sharing them with the cached adjacency would
+    # let in-place mutation of one matrix silently corrupt the other.
+    operator = sp.csr_matrix(
+        (
+            inverse_degrees[adjacency.indices],
+            adjacency.indices.copy(),
+            adjacency.indptr.copy(),
+        ),
+        shape=adjacency.shape,
+        copy=False,
+    )
+    operator.has_sorted_indices = True
+    return operator
 
 
 def lazy_transition_matrix(graph: Graph, laziness: float = 0.5) -> sp.csr_matrix:

@@ -1,0 +1,120 @@
+"""BatchedWalkDistribution vs WalkDistribution: step-for-step equivalence."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RandomWalkError
+from repro.graphs import Graph, planted_partition_graph
+from repro.randomwalk import BatchedWalkDistribution, WalkDistribution
+
+
+@pytest.fixture(scope="module")
+def ppm_graph():
+    n = 256
+    return planted_partition_graph(n, 2, 3 * math.log(n) ** 2 / n, 1.0 / n, seed=7).graph
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_matches_scalar_walks_step_for_step(self, ppm_graph, lazy):
+        seeds = [0, 17, 130, 255, 17]  # duplicates allowed
+        batched = BatchedWalkDistribution(ppm_graph, seeds, lazy=lazy)
+        scalars = [WalkDistribution(ppm_graph, s, lazy=lazy) for s in seeds]
+        for _ in range(12):
+            batched.step()
+            for walk in scalars:
+                walk.step()
+            for j, walk in enumerate(scalars):
+                # The SpMM columns are bit-identical to scalar mat-vecs (well
+                # inside the 1e-12 tolerance the equivalence spec requires).
+                assert np.array_equal(batched.column(j), walk.probabilities())
+
+    def test_initial_state_is_indicator(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [2, 9])
+        matrix = batched.probabilities()
+        assert matrix.shape == (10, 2)
+        assert matrix[2, 0] == 1.0 and matrix[9, 1] == 1.0
+        assert matrix.sum() == 2.0
+        assert batched.steps == 0
+
+    def test_mass_in_matches_scalar(self, ppm_graph):
+        seeds = [3, 200]
+        batched = BatchedWalkDistribution(ppm_graph, seeds)
+        scalars = [WalkDistribution(ppm_graph, s) for s in seeds]
+        batched.step(5)
+        for walk in scalars:
+            walk.step(5)
+        subset = list(range(0, 128))
+        masses = batched.mass_in(subset)
+        for j, walk in enumerate(scalars):
+            assert masses[j] == pytest.approx(walk.mass_in(subset), abs=0.0)
+
+    def test_run_to_and_restart(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [0, 5])
+        batched.run_to(4)
+        assert batched.steps == 4
+        batched.restart()
+        assert batched.steps == 0
+        assert batched.probabilities()[0, 0] == 1.0
+
+
+class TestRetain:
+    def test_retain_narrows_batch(self, ppm_graph):
+        seeds = [1, 2, 3, 4]
+        batched = BatchedWalkDistribution(ppm_graph, seeds)
+        batched.step(3)
+        expected = [WalkDistribution(ppm_graph, s) for s in seeds]
+        for walk in expected:
+            walk.step(3)
+        batched.retain([0, 2])
+        assert batched.sources == (1, 3)
+        assert batched.num_walks == 2
+        batched.step()
+        expected[0].step()
+        expected[2].step()
+        assert np.array_equal(batched.column(0), expected[0].probabilities())
+        assert np.array_equal(batched.column(1), expected[2].probabilities())
+
+    def test_retain_rejects_bad_indices(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [0, 5])
+        with pytest.raises(RandomWalkError):
+            batched.retain([])
+        with pytest.raises(RandomWalkError):
+            batched.retain([5])
+
+
+class TestValidation:
+    def test_empty_sources_rejected(self, two_cliques_graph):
+        with pytest.raises(RandomWalkError):
+            BatchedWalkDistribution(two_cliques_graph, [])
+
+    def test_out_of_range_source_rejected(self, two_cliques_graph):
+        with pytest.raises(RandomWalkError):
+            BatchedWalkDistribution(two_cliques_graph, [0, 99])
+
+    def test_negative_step_rejected(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [0])
+        with pytest.raises(RandomWalkError):
+            batched.step(-1)
+
+    def test_run_to_cannot_rewind(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [0])
+        batched.step(3)
+        with pytest.raises(RandomWalkError):
+            batched.run_to(1)
+
+    def test_column_out_of_range(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [0])
+        with pytest.raises(RandomWalkError):
+            batched.column(1)
+
+    def test_views_read_only(self, two_cliques_graph):
+        batched = BatchedWalkDistribution(two_cliques_graph, [0, 1])
+        with pytest.raises(ValueError):
+            batched.probabilities()[0, 0] = 2.0
+        with pytest.raises(ValueError):
+            batched.column(0)[0] = 2.0

@@ -48,6 +48,57 @@ class TestConstruction:
         with pytest.raises(GraphError):
             Graph.from_edge_array(3, np.array([0, 1, 2]))
 
+    def test_from_edge_array_rejects_nan(self):
+        with pytest.raises(GraphError, match="NaN"):
+            Graph.from_edge_array(3, np.array([[0.0, 1.0], [float("nan"), 2.0]]))
+
+    def test_from_edge_array_rejects_infinity(self):
+        with pytest.raises(GraphError, match="non-finite"):
+            Graph.from_edge_array(3, np.array([[0.0, 1.0], [float("inf"), 2.0]]))
+
+    def test_from_edge_array_rejects_fractional_floats(self):
+        with pytest.raises(GraphError, match="non-integer"):
+            Graph.from_edge_array(3, np.array([[0.0, 1.5]]))
+
+    def test_from_edge_array_accepts_integral_floats(self):
+        graph = Graph.from_edge_array(3, np.array([[0.0, 1.0], [1.0, 2.0]]))
+        assert graph.num_edges == 2
+
+    def test_from_edge_array_rejects_non_numeric_dtype(self):
+        with pytest.raises(GraphError, match="integer dtype"):
+            Graph.from_edge_array(3, np.array([["0", "1"]]))
+
+    def test_from_edge_array_accepts_unsigned(self):
+        graph = Graph.from_edge_array(3, np.array([[0, 1], [1, 2]], dtype=np.uint32))
+        assert graph.num_edges == 2
+
+    def test_constructor_rejects_nan_array(self):
+        with pytest.raises(GraphError, match="NaN"):
+            Graph(3, np.array([[float("nan"), 1.0]]))
+
+    def test_constructor_rejects_overflowing_ints(self):
+        with pytest.raises(GraphError, match="converted to integers"):
+            Graph(3, [(0, 2**70)])
+
+    def test_constructor_rejects_empty_rows_of_wrong_width(self):
+        with pytest.raises(GraphError, match="shape"):
+            Graph(3, np.empty((3, 0)))
+
+    def test_constructor_accepts_zero_row_arrays(self):
+        assert Graph(3, np.empty((0,))).num_edges == 0
+        assert Graph(3, np.empty((0, 5))).num_edges == 0
+
+    def test_subset_rejects_multidimensional_arrays(self):
+        graph = Graph(5, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError, match="one-dimensional"):
+            graph.cut_size(np.array([[0, 1], [2, 3]]))
+
+    def test_edges_iterates_lazily(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        iterator = graph.edges()
+        assert next(iterator) == (0, 1)
+        assert list(iterator) == [(1, 2), (2, 3)]
+
     def test_networkx_round_trip(self, two_cliques_graph):
         nx_graph = two_cliques_graph.to_networkx()
         back = Graph.from_networkx(nx_graph)

@@ -1,0 +1,54 @@
+"""Performance smoke guard for the vectorized hot paths.
+
+Constructs a 100k-edge graph and advances a 64-seed batched walk one step
+under a *very* generous wall-clock ceiling.  The point is not to measure
+speed (``benchmarks/bench_graph_kernel.py`` does that) but to fail loudly if
+a future change accidentally reintroduces a per-edge or per-seed Python loop
+— the scalar paths take tens of seconds at this size, the vectorized paths
+well under a second.
+
+Deselect with ``-m "not perf"`` if the suite must run on heavily loaded CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.randomwalk import BatchedWalkDistribution
+
+NUM_VERTICES = 50_000
+NUM_EDGES = 100_000
+NUM_SEEDS = 64
+#: Generous ceilings (seconds); the vectorized paths run ~100x faster.
+CONSTRUCTION_CEILING = 10.0
+WALK_STEP_CEILING = 10.0
+
+
+@pytest.mark.perf
+def test_100k_edge_construction_and_batched_step_under_ceiling():
+    rng = np.random.default_rng(0)
+    edges = rng.integers(0, NUM_VERTICES, size=(NUM_EDGES, 2), dtype=np.int64)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+
+    start = time.perf_counter()
+    graph = Graph.from_edge_array(NUM_VERTICES, edges)
+    construction_seconds = time.perf_counter() - start
+    assert graph.num_edges > 0
+    assert construction_seconds < CONSTRUCTION_CEILING, (
+        f"100k-edge construction took {construction_seconds:.2f}s "
+        f"(ceiling {CONSTRUCTION_CEILING}s) — did a Python loop sneak back in?"
+    )
+
+    seeds = rng.integers(0, NUM_VERTICES, size=NUM_SEEDS).tolist()
+    start = time.perf_counter()
+    walk = BatchedWalkDistribution(graph, seeds)
+    walk.step()
+    step_seconds = time.perf_counter() - start
+    assert step_seconds < WALK_STEP_CEILING, (
+        f"64-seed batched walk advance took {step_seconds:.2f}s "
+        f"(ceiling {WALK_STEP_CEILING}s) — did a per-seed loop sneak back in?"
+    )

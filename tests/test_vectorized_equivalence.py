@@ -1,0 +1,138 @@
+"""Scalar ↔ vectorized equivalence suite.
+
+The vectorized graph kernels (CSR construction, subset operations,
+``edge_array``) and the batched walk substrate must produce results
+*identical* to the original scalar implementations preserved in
+:mod:`repro.graphs.reference`.  This module sweeps random graphs across
+sizes and densities plus adversarial shapes (empty, single edge, star,
+clique, path, disconnected) and asserts exact agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.reference import (
+    scalar_csr_arrays,
+    scalar_cut_size,
+    scalar_edge_array,
+    scalar_induced_edge_count,
+    scalar_induced_subgraph_edges,
+)
+from repro.randomwalk import reverse_transition_matrix, transition_matrix
+
+
+def _random_graph_cases():
+    """Random (n, edge list) cases across sizes and densities."""
+    rng = np.random.default_rng(20240517)
+    cases = []
+    for n in (1, 2, 3, 5, 8, 13, 21, 40, 77):
+        for density in (0.0, 0.1, 0.5, 1.5, 3.0):
+            m = int(density * n)
+            edges = rng.integers(0, n, size=(m, 2))
+            edges = edges[edges[:, 0] != edges[:, 1]]
+            cases.append((n, edges))
+    return cases
+
+
+def _edge_case_graphs():
+    star = [(0, i) for i in range(1, 8)]
+    clique = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+    path = [(i, i + 1) for i in range(7)]
+    return [
+        ("empty", 5, []),
+        ("single-edge", 2, [(0, 1)]),
+        ("single-edge-large", 9, [(3, 7)]),
+        ("star", 8, star),
+        ("clique", 6, clique),
+        ("path", 8, path),
+        ("disconnected", 10, [(0, 1), (2, 3), (8, 9)]),
+        ("duplicates", 4, [(0, 1), (1, 0), (0, 1), (2, 3)]),
+    ]
+
+
+def _subsets_for(n: int, rng: np.random.Generator):
+    subsets = [[], list(range(n))]
+    if n >= 1:
+        subsets.append([0])
+        subsets.append([n - 1])
+    if n >= 2:
+        half = rng.permutation(n)[: n // 2].tolist()
+        subsets.append(half)
+        subsets.append(rng.permutation(n)[: max(1, n // 3)].tolist())
+    return subsets
+
+
+def _assert_graph_equivalent(n: int, edges) -> None:
+    graph = Graph(n, edges)
+    edge_tuples = [tuple(int(x) for x in e) for e in np.asarray(edges).reshape(-1, 2)]
+    num_edges, degrees, indptr, indices = scalar_csr_arrays(n, edge_tuples)
+    assert graph.num_edges == num_edges
+    assert np.array_equal(graph.degrees(), degrees)
+    assert np.array_equal(graph._indptr, indptr)
+    assert np.array_equal(graph._indices, indices)
+    assert np.array_equal(graph.edge_array(), scalar_edge_array(graph))
+
+    rng = np.random.default_rng(n * 7919 + num_edges)
+    for subset in _subsets_for(n, rng):
+        assert graph.cut_size(subset) == scalar_cut_size(graph, subset)
+        assert graph.induced_edge_count(subset) == scalar_induced_edge_count(graph, subset)
+        if subset:
+            sub_n, sub_edges, expected_mapping = scalar_induced_subgraph_edges(graph, subset)
+            subgraph, mapping = graph.induced_subgraph(subset)
+            assert mapping == expected_mapping
+            assert subgraph == Graph(sub_n, sub_edges)
+
+
+@pytest.mark.parametrize("n,edges", _random_graph_cases())
+def test_random_graphs_match_scalar_reference(n, edges):
+    _assert_graph_equivalent(n, edges)
+
+
+@pytest.mark.parametrize("name,n,edges", _edge_case_graphs())
+def test_edge_case_graphs_match_scalar_reference(name, n, edges):
+    _assert_graph_equivalent(n, edges)
+
+
+def test_edge_array_round_trips_through_constructor():
+    rng = np.random.default_rng(5)
+    edges = rng.integers(0, 30, size=(60, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    graph = Graph(30, edges)
+    rebuilt = Graph.from_edge_array(30, graph.edge_array())
+    assert rebuilt == graph
+
+
+def test_ndarray_and_tuple_constructors_agree():
+    rng = np.random.default_rng(6)
+    edges = rng.integers(0, 25, size=(50, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    from_array = Graph(25, edges)
+    from_tuples = Graph(25, [tuple(e) for e in edges.tolist()])
+    assert from_array == from_tuples
+
+
+def test_reverse_transition_matrix_matches_transpose_construction():
+    """The direct A·D⁻¹ assembly must be bit-identical to the seed's Pᵀ."""
+    rng = np.random.default_rng(7)
+    for n, m in ((2, 1), (10, 15), (50, 120)):
+        edges = rng.integers(0, n, size=(m, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        if len(edges) == 0:
+            continue
+        graph = Graph(n, edges)
+        direct = reverse_transition_matrix(graph)
+        transposed = transition_matrix(graph).T.tocsr()
+        assert (direct != transposed).nnz == 0
+        probe = rng.random(n)
+        assert np.array_equal(direct @ probe, transposed @ probe)
+
+
+def test_reverse_transition_matrix_does_not_alias_adjacency_cache():
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    operator = reverse_transition_matrix(graph)
+    original = graph.adjacency_matrix().indices.copy()
+    operator.indices[0] = 3  # deliberate in-place vandalism
+    assert np.array_equal(graph.adjacency_matrix().indices, original)
