@@ -13,12 +13,21 @@ Measures, on a 1M-edge random graph:
   what 64 sequential ``detect_community`` calls cost per walk step;
 * **steady-state step** — batched vs scalar stepping with operators already
   built, reported for transparency (the win here is bounded by memory
-  bandwidth, not by call overhead).
+  bandwidth, not by call overhead);
+* **batched mixing-set search** — one
+  :class:`BatchedMixingSetSearch.largest_mixing_sets` call over ``B``
+  walk columns against ``B`` scalar ``largest_mixing_set`` calls (what the
+  pre-batching ``detect_community_batch`` inner loop paid per step), at
+  ``B ∈ {1, 8, 64}`` on a 250k-edge graph;
+* **parallel detection** — ``detect_communities_parallel`` (one shared
+  batched walk + conflict resolution) against the pre-port scalar per-seed
+  loop over the same spread seeds, at ``r ∈ {1, 8, 64}`` on an 8-block PPM.
 
 Run directly (``python benchmarks/bench_graph_kernel.py``) for the table, or
 through pytest (``pytest benchmarks/bench_graph_kernel.py``) to enforce the
 acceptance thresholds: construction and the 64-seed walk advance must be at
-least 10× faster than the seed scalar path.
+least 10× faster than the seed scalar path, and the 64-column batched
+mixing-set search must beat the per-column loop.
 """
 
 from __future__ import annotations
@@ -29,7 +38,10 @@ import time
 import numpy as np
 import pytest
 
-from repro.graphs import Graph
+from repro.core import BatchedMixingSetSearch, MixingSetSearch
+from repro.core.cdrw import detect_community
+from repro.core.parallel import detect_communities_parallel, select_spread_seeds
+from repro.graphs import Graph, planted_partition_graph, ppm_expected_conductance
 from repro.graphs.reference import (
     scalar_csr_arrays,
     scalar_cut_size,
@@ -37,11 +49,23 @@ from repro.graphs.reference import (
     scalar_induced_subgraph_edges,
 )
 from repro.randomwalk import BatchedWalkDistribution, transition_matrix
+from repro.utils import log_size
 
 NUM_VERTICES = 200_000
 NUM_EDGES = 1_000_000
 NUM_SEEDS = 64
 REQUIRED_SPEEDUP = 10.0
+
+# The mixing-set search and parallel detection scan the full candidate-size
+# schedule per walk step, so they are measured on smaller instances sized
+# like the experiment workloads (at n ≳ 50k the search is memory-bound and
+# batched ≈ scalar on one core; the batching win is call-overhead and
+# shared-target amortization, which dominates at experiment sizes).
+SEARCH_VERTICES = 4_096
+SEARCH_EDGES = 20_000
+PARALLEL_VERTICES = 2_048
+PARALLEL_BLOCKS = 8
+BATCH_WIDTHS = (1, 8, 64)
 
 
 def _best_of(function, repeats: int = 3) -> float:
@@ -125,6 +149,56 @@ def run_benchmark() -> dict[str, float]:
     results["step_scalar_s"] = _best_of(lambda: [operator @ c for c in columns])
     results["step_batched_s"] = _best_of(lambda: operator @ matrix)
     results["step_speedup"] = results["step_scalar_s"] / results["step_batched_s"]
+
+    # -- batched mixing-set search (per walk step, B ∈ {1, 8, 64}) ------
+    search_edges = np.random.default_rng(3).integers(
+        0, SEARCH_VERTICES, size=(SEARCH_EDGES, 2), dtype=np.int64
+    )
+    search_graph = Graph.from_edge_array(
+        SEARCH_VERTICES, search_edges[search_edges[:, 0] != search_edges[:, 1]]
+    )
+    search_seeds = (
+        np.random.default_rng(4).integers(0, SEARCH_VERTICES, size=max(BATCH_WIDTHS)).tolist()
+    )
+    search_walk = BatchedWalkDistribution(search_graph, search_seeds)
+    search_walk.step(5)
+    distributions = np.array(search_walk.probabilities())
+    initial_size = log_size(SEARCH_VERTICES)
+    scalar_search = MixingSetSearch(search_graph, initial_size=initial_size)
+    batched_search = BatchedMixingSetSearch(search_graph, initial_size=initial_size)
+    for width in BATCH_WIDTHS:
+        subset = np.ascontiguousarray(distributions[:, :width])
+        per_column = [np.ascontiguousarray(subset[:, j]) for j in range(width)]
+        results[f"search{width}_scalar_s"] = _best_of(
+            lambda: [scalar_search.largest_mixing_set(c, 5) for c in per_column],
+            repeats=1,
+        )
+        results[f"search{width}_batched_s"] = _best_of(
+            lambda: batched_search.largest_mixing_sets(subset, 5), repeats=1
+        )
+        results[f"search{width}_speedup"] = (
+            results[f"search{width}_scalar_s"] / results[f"search{width}_batched_s"]
+        )
+
+    # -- parallel detection (shared batched walk, r ∈ {1, 8, 64}) -------
+    n = PARALLEL_VERTICES
+    p = min(1.0, 2.0 * np.log(n) ** 2 / n)
+    q = 1.0 / n
+    ppm = planted_partition_graph(n, PARALLEL_BLOCKS, p, q, seed=5)
+    delta = ppm_expected_conductance(n, PARALLEL_BLOCKS, p, q)
+    for width in BATCH_WIDTHS:
+        spread = select_spread_seeds(ppm.graph, width, seed=6)
+        results[f"parallel{width}_scalar_s"] = _best_of(
+            lambda: [detect_community(ppm.graph, s, delta_hint=delta) for s in spread],
+            repeats=1,
+        )
+        results[f"parallel{width}_batched_s"] = _best_of(
+            lambda: detect_communities_parallel(ppm.graph, width, delta_hint=delta, seed=6),
+            repeats=1,
+        )
+        results[f"parallel{width}_speedup"] = (
+            results[f"parallel{width}_scalar_s"] / results[f"parallel{width}_batched_s"]
+        )
     return results
 
 
@@ -137,6 +211,24 @@ def print_table(results: dict[str, float]) -> None:
         ("64-seed walk advance", "walk_advance_scalar_s", "walk_advance_batched_s", "walk_advance_speedup"),
         ("64-seed steady step", "step_scalar_s", "step_batched_s", "step_speedup"),
     ]
+    for width in BATCH_WIDTHS:
+        rows.append(
+            (
+                f"mixing search B={width}",
+                f"search{width}_scalar_s",
+                f"search{width}_batched_s",
+                f"search{width}_speedup",
+            )
+        )
+    for width in BATCH_WIDTHS:
+        rows.append(
+            (
+                f"parallel detect r={width}",
+                f"parallel{width}_scalar_s",
+                f"parallel{width}_batched_s",
+                f"parallel{width}_speedup",
+            )
+        )
     print(f"{'kernel':26s} {'scalar [s]':>11s} {'vectorized [s]':>15s} {'speedup':>9s}")
     for label, scalar_key, vector_key, speedup_key in rows:
         print(
@@ -165,6 +257,19 @@ def test_subset_kernels_faster_than_scalar():
     assert results["induced_speedup"] > 1.0, results
 
 
+@pytest.mark.perf
+def test_batched_mixing_search_beats_per_column_loop_at_64():
+    """Acceptance: one batched search call must beat 64 sequential scans."""
+    results = run_benchmark()
+    assert results["search64_speedup"] > 1.0, results
+
+
+@pytest.mark.perf
+def test_parallel_detection_beats_scalar_loop_at_64():
+    results = run_benchmark()
+    assert results["parallel64_speedup"] > 1.0, results
+
+
 if __name__ == "__main__":
     table = run_benchmark()
     print_table(table)
@@ -173,6 +278,11 @@ if __name__ == "__main__":
         failed.append("construction")
     if table["walk_advance_speedup"] < REQUIRED_SPEEDUP:
         failed.append("walk advance")
+    if table["search64_speedup"] <= 1.0:
+        failed.append("64-column mixing search")
     if failed:
-        raise SystemExit(f"speedup below {REQUIRED_SPEEDUP}x for: {', '.join(failed)}")
-    print(f"\nacceptance: construction and 64-seed walk advance both >= {REQUIRED_SPEEDUP}x")
+        raise SystemExit(f"speedup thresholds not met for: {', '.join(failed)}")
+    print(
+        f"\nacceptance: construction and 64-seed walk advance >= {REQUIRED_SPEEDUP}x, "
+        f"64-column batched search > 1x"
+    )

@@ -20,6 +20,7 @@ from typing import Sequence
 from .experiments import (
     batched_detection_scaling,
     compare_baselines,
+    parallel_detection_scaling,
     congest_scaling,
     figure1_stats,
     figure2_grid,
@@ -82,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
     batched.add_argument("--num-seeds", type=int, default=16)
     batched.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16])
 
+    parallel = subparsers.add_parser(
+        "parallel",
+        help="parallel multi-seed detection: scalar per-seed loop vs one shared batched walk",
+    )
+    parallel.add_argument("--n", type=int, default=1024)
+    parallel.add_argument("--blocks", type=int, default=4)
+    parallel.add_argument("--seed-counts", type=int, nargs="+", default=[1, 2, 4])
+
     return parser
 
 
@@ -123,6 +132,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_blocks=arguments.blocks,
             num_seeds=arguments.num_seeds,
             batch_sizes=tuple(arguments.batch_sizes),
+            seed=arguments.seed,
+        )
+    elif arguments.command == "parallel":
+        table = parallel_detection_scaling(
+            n=arguments.n,
+            num_blocks=arguments.blocks,
+            seed_counts=tuple(arguments.seed_counts),
             seed=arguments.seed,
         )
     else:  # pragma: no cover - argparse enforces the choices

@@ -2,6 +2,7 @@
 
 from .parameters import CDRWParameters
 from .mixing_set import (
+    BatchedMixingSetSearch,
     LargestMixingSet,
     MixingSetSearch,
     deviation_values,
@@ -15,6 +16,7 @@ from .parallel import detect_communities_parallel, select_spread_seeds
 
 __all__ = [
     "CDRWParameters",
+    "BatchedMixingSetSearch",
     "LargestMixingSet",
     "MixingSetSearch",
     "deviation_values",

@@ -8,8 +8,12 @@ per-step walk advance.  :func:`detect_community_batch` runs ``B`` detections
 simultaneously on top of one
 :class:`~repro.randomwalk.batched.BatchedWalkDistribution` (one CSR
 sparse-matrix–matrix product per walk step instead of ``B`` matrix–vector
-products), while the per-seed mixing-set search and stopping rule execute
-the *same code* as the scalar path on each walk's column.
+products).  The mixing-set search is batched as well: one
+:class:`~repro.core.mixing_set.BatchedMixingSetSearch` call per walk step
+evaluates every active column simultaneously (one deviation matrix and one
+axis-0 argpartition per candidate size instead of ``B`` sequential scans),
+while the per-seed :class:`~repro.core.stopping.GrowthStoppingRule` stays
+scalar and untouched.
 
 Because the batched walk columns are bit-identical to scalar walks (see
 :mod:`repro.randomwalk.batched`), every ``CommunityResult`` produced here is
@@ -40,7 +44,7 @@ from ..graphs.graph import Graph
 from ..randomwalk.batched import BatchedWalkDistribution
 from ..utils import as_rng
 from .cdrw import _ensure_seed, _remove_detected
-from .mixing_set import LargestMixingSet, MixingSetSearch
+from .mixing_set import BatchedMixingSetSearch, LargestMixingSet
 from .parameters import CDRWParameters
 from .result import CommunityResult, DetectionResult
 from .stopping import GrowthStoppingRule
@@ -53,23 +57,34 @@ def detect_community_batch(
     seeds: list[int] | tuple[int, ...] | np.ndarray,
     parameters: CDRWParameters | None = None,
     delta_hint: float | None = None,
-) -> list[CommunityResult]:
+    *,
+    capture_distributions: bool = False,
+) -> list[CommunityResult] | tuple[list[CommunityResult], np.ndarray]:
     """Detect the community of every seed in ``seeds``, sharing one batched walk.
 
     Returns one :class:`CommunityResult` per seed, in input order, identical
     to ``[detect_community(graph, s, parameters, delta_hint) for s in seeds]``
     (asserted by ``tests/test_batched_detection.py``).  Duplicate seeds are
     allowed and produce duplicate results.
+
+    When ``capture_distributions`` is true, returns ``(results, matrix)``
+    where ``matrix`` is the ``(n, len(seeds))`` array holding, per seed, the
+    walk distribution at the step its detection stopped (the seed's one-hot
+    vector for the edgeless fast path).  The parallel driver uses these to
+    resolve conflicts between overlapping communities without re-running any
+    walk.
     """
     seed_list = [int(s) for s in seeds]
     if not seed_list:
+        if capture_distributions:
+            return [], np.zeros((graph.num_vertices, 0), dtype=np.float64)
         return []
     for seed_vertex in seed_list:
         if seed_vertex not in graph:
             raise AlgorithmError(f"seed vertex {seed_vertex} is not a vertex of {graph!r}")
     if graph.num_edges == 0:
         # Isolated seeds trivially form their own communities (scalar fast path).
-        return [
+        results = [
             CommunityResult(
                 seed=seed_vertex,
                 community=frozenset({seed_vertex}),
@@ -80,6 +95,11 @@ def detect_community_batch(
             )
             for seed_vertex in seed_list
         ]
+        if capture_distributions:
+            finals = np.zeros((graph.num_vertices, len(seed_list)), dtype=np.float64)
+            finals[seed_list, np.arange(len(seed_list))] = 1.0
+            return results, finals
+        return results
     parameters = parameters or CDRWParameters()
 
     delta = parameters.resolve_delta(graph, delta_hint)
@@ -88,15 +108,7 @@ def detect_community_batch(
 
     # The search is stateless across walk lengths, so one instance serves the
     # whole batch; the stopping rule is stateful and stays per-seed.
-    search = MixingSetSearch(
-        graph,
-        initial_size=initial_size,
-        mixing_threshold=parameters.mixing_threshold,
-        growth_factor=parameters.growth_factor,
-        schedule=parameters.size_schedule,
-        stop_at_first_failure=parameters.stop_at_first_failure,
-        min_mass=parameters.min_mass,
-    )
+    search = BatchedMixingSetSearch.from_parameters(graph, parameters, initial_size)
     stoppings = [GrowthStoppingRule(delta=delta) for _ in seed_list]
     walk = BatchedWalkDistribution(graph, seed_list, lazy=parameters.lazy_walk)
 
@@ -104,13 +116,20 @@ def detect_community_batch(
     histories: list[list[LargestMixingSet]] = [[] for _ in range(num_seeds)]
     last_found: list[LargestMixingSet | None] = [None] * num_seeds
     finished: dict[int, CommunityResult] = {}
+    finals = (
+        np.zeros((graph.num_vertices, num_seeds), dtype=np.float64)
+        if capture_distributions
+        else None
+    )
     active = list(range(num_seeds))  # walk column c holds seed index active[c]
 
     for length in range(1, max_walk_length + 1):
         walk.step()
+        # One batched search per step evaluates every active column at once.
+        currents = search.largest_mixing_sets(walk.probabilities(), length)
         stopped_columns: set[int] = set()
         for column, index in enumerate(active):
-            current = search.largest_mixing_set(walk.column(column), length)
+            current = currents[column]
             histories[index].append(current)
             if current.found:
                 last_found[index] = current
@@ -124,6 +143,8 @@ def detect_community_batch(
                     stop_reason=decision.reason,
                     delta=delta,
                 )
+                if finals is not None:
+                    finals[:, index] = walk.column(column)
                 stopped_columns.add(column)
         if stopped_columns:
             keep = [c for c in range(len(active)) if c not in stopped_columns]
@@ -134,6 +155,8 @@ def detect_community_batch(
 
     # Budget exhausted without triggering the growth rule for the survivors:
     # fall back to the last mixing set found, or the seed alone (scalar rule).
+    if active and finals is not None:
+        finals[:, active] = walk.columns(range(len(active)))
     for index in active:
         if last_found[index] is not None:
             members = _ensure_seed(last_found[index].members, seed_list[index])
@@ -149,7 +172,10 @@ def detect_community_batch(
             stop_reason=stop_reason,
             delta=delta,
         )
-    return [finished[index] for index in range(num_seeds)]
+    results = [finished[index] for index in range(num_seeds)]
+    if finals is not None:
+        return results, finals
+    return results
 
 
 def detect_communities_batched(

@@ -7,16 +7,26 @@ even faster (by finding communities in parallel), assuming we know an
 1. draw ``r`` seed vertices (optionally spread out so that no two seeds are
    within a small hop distance of each other, which makes it likely that the
    seeds land in distinct blocks),
-2. run the single-seed detection for every seed — conceptually in parallel;
-   the walks are independent so the distributed round complexity is that of a
-   single detection, an ``r``-fold saving over the sequential pool loop —
+2. run the ``r`` detections simultaneously on one shared batched walk
+   (:func:`repro.core.batched.detect_community_batch`): one sparse
+   matrix–matrix product and one batched mixing-set search per walk step
+   instead of ``r`` independent scalar runs — an ``r``-fold reduction of
+   redundant walk work that mirrors the distributed round-complexity saving,
+   while each per-seed result stays identical to the scalar
+   :func:`~repro.core.cdrw.detect_community`,
 3. resolve conflicts: when two detected communities overlap heavily they were
-   seeded in the same block, so the duplicates are merged; vertices claimed by
-   multiple surviving communities go to the one whose seed is closest in walk
-   probability.
+   seeded in the same block, so the duplicates are merged (the earlier seed
+   survives); every vertex still claimed by multiple *surviving* communities
+   is then assigned to the one whose seed's final walk distribution gives it
+   the highest probability (ties favour the earlier survivor; a surviving
+   community always keeps its own seed).  The final distributions are already
+   available from the shared batch, so resolution costs no extra walk steps,
+   and the returned communities are pairwise disjoint.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 
@@ -24,7 +34,7 @@ from ..exceptions import AlgorithmError
 from ..graphs.graph import Graph
 from ..graphs.traversal import bfs_tree
 from ..utils import as_rng
-from .cdrw import detect_community
+from .batched import detect_community_batch
 from .parameters import CDRWParameters
 from .result import CommunityResult, DetectionResult
 
@@ -40,8 +50,15 @@ def select_spread_seeds(
 ) -> list[int]:
     """Pick ``count`` seed vertices pairwise at hop distance ≥ ``min_distance``.
 
-    Falls back to plain random seeds when the spacing constraint cannot be
-    met (e.g. very dense graphs where everything is within 2 hops).
+    Seeds are drawn uniformly from the vertices that still satisfy the
+    spacing constraint (every draw is productive — no rejection sampling
+    burning attempts on already-blocked vertices), so ``max_attempts`` now
+    simply caps the number of spread draws; it only cuts the spread phase
+    short when set below ``count``.  When the constraint cannot be met for
+    all ``count`` seeds, the fallback first draws from the remaining
+    *unblocked* vertices and only then relaxes to arbitrary unchosen
+    vertices, so spacing violations happen only when no valid spread seed
+    remains.
     """
     if count < 1:
         raise AlgorithmError(f"seed count must be >= 1, got {count}")
@@ -54,21 +71,31 @@ def select_spread_seeds(
         max_attempts = 20 * count
 
     chosen: list[int] = []
-    blocked: set[int] = set()
+    available = np.ones(graph.num_vertices, dtype=bool)
     attempts = 0
     while len(chosen) < count and attempts < max_attempts:
         attempts += 1
-        candidate = int(rng.integers(graph.num_vertices))
-        if candidate in blocked:
-            continue
+        candidates = np.flatnonzero(available)
+        if candidates.size == 0:
+            break
+        candidate = int(rng.choice(candidates))
         chosen.append(candidate)
         if min_distance > 0:
             nearby = bfs_tree(graph, candidate, max_depth=min_distance - 1)
-            blocked.update(int(v) for v in nearby.reached())
-        else:
-            blocked.add(candidate)
+            available[nearby.reached()] = False
+        available[candidate] = False
     if len(chosen) < count:
-        remaining = [v for v in range(graph.num_vertices) if v not in set(chosen)]
+        # Prefer vertices that still satisfy the spacing constraint; the
+        # main loop cannot have missed them unless it ran out of attempts.
+        unblocked = np.flatnonzero(available)
+        take = min(count - len(chosen), int(unblocked.size))
+        if take > 0:
+            extra = rng.choice(unblocked, size=take, replace=False)
+            chosen.extend(int(v) for v in extra)
+    if len(chosen) < count:
+        # Only now relax the constraint: no valid spread seed remains.
+        chosen_set = set(chosen)
+        remaining = [v for v in range(graph.num_vertices) if v not in chosen_set]
         extra = rng.choice(remaining, size=count - len(chosen), replace=False)
         chosen.extend(int(v) for v in extra)
     return chosen
@@ -84,6 +111,14 @@ def detect_communities_parallel(
     seed_min_distance: int = 2,
 ) -> DetectionResult:
     """Detect ``num_communities`` communities from simultaneously started seeds.
+
+    All seeds share one batched walk (one SpMM + one batched mixing-set
+    search per step), so the wall-clock cost is close to a single detection
+    rather than ``r`` sequential ones; each raw per-seed result is identical
+    to what :func:`~repro.core.cdrw.detect_community` returns for that seed.
+    After duplicate-merge, overlaps between surviving communities are
+    resolved with the final walk distributions (see the module docstring,
+    step 3), so the returned communities are pairwise disjoint.
 
     Parameters
     ----------
@@ -109,20 +144,72 @@ def detect_communities_parallel(
     seeds = select_spread_seeds(
         graph, num_communities, min_distance=seed_min_distance, seed=rng
     )
-    raw_results = [
-        detect_community(graph, s, parameters, delta_hint=delta_hint) for s in seeds
-    ]
+    raw_results, distributions = detect_community_batch(
+        graph, seeds, parameters, delta_hint, capture_distributions=True
+    )
 
-    merged: list[CommunityResult] = []
-    for result in raw_results:
-        duplicate = False
-        for kept in merged:
-            if _jaccard(result.community, kept.community) >= overlap_merge_threshold:
-                duplicate = True
-                break
+    # Step 2 aftermath: drop duplicates of already-kept blocks (earlier seed
+    # survives), remembering each survivor's index into the batch.
+    survivors: list[int] = []
+    for index, result in enumerate(raw_results):
+        duplicate = any(
+            _jaccard(result.community, raw_results[kept].community)
+            >= overlap_merge_threshold
+            for kept in survivors
+        )
         if not duplicate:
-            merged.append(result)
-    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(merged))
+            survivors.append(index)
+
+    resolved = _resolve_overlaps(raw_results, survivors, distributions)
+    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(resolved))
+
+
+def _resolve_overlaps(
+    raw_results: list[CommunityResult],
+    survivors: list[int],
+    distributions: np.ndarray,
+) -> list[CommunityResult]:
+    """Assign every multiply-claimed vertex to exactly one surviving community.
+
+    A vertex claimed by several survivors goes to the community whose seed's
+    final walk distribution gives it the highest probability; ties go to the
+    earlier survivor (detection order).  A survivor always keeps its own seed
+    vertex regardless of probabilities — the detected community must contain
+    its seed by definition.  The result is pairwise disjoint.
+    """
+    claimants: dict[int, list[int]] = {}
+    for position, index in enumerate(survivors):
+        for vertex in raw_results[index].community:
+            claimants.setdefault(vertex, []).append(position)
+    own_seed = {raw_results[index].seed: position for position, index in enumerate(survivors)}
+
+    members = [set(raw_results[index].community) for index in survivors]
+    for vertex, positions in claimants.items():
+        if len(positions) < 2:
+            continue
+        if own_seed.get(vertex) in positions:
+            winner = own_seed[vertex]
+        else:
+            winner = max(
+                positions,
+                key=lambda position: (
+                    distributions[vertex, survivors[position]],
+                    -position,
+                ),
+            )
+        for position in positions:
+            if position != winner:
+                members[position].discard(vertex)
+
+    resolved: list[CommunityResult] = []
+    for position, index in enumerate(survivors):
+        original = raw_results[index]
+        community = frozenset(members[position])
+        if community == original.community:
+            resolved.append(original)
+        else:
+            resolved.append(replace(original, community=community))
+    return resolved
 
 
 def _jaccard(a: frozenset[int], b: frozenset[int]) -> float:

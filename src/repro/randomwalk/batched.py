@@ -114,6 +114,24 @@ class BatchedWalkDistribution:
         vector.flags.writeable = False
         return vector
 
+    def columns(self, walks: Sequence[int]) -> np.ndarray:
+        """Return a contiguous ``(n, k)`` read-only copy of the selected walk columns.
+
+        Column ``i`` of the result equals :meth:`column` of ``walks[i]``
+        (bit-identical — fancy column indexing copies contiguously).  Drivers
+        use this to snapshot several final distributions in one call, e.g.
+        when the walk-length budget expires for the surviving columns of a
+        batched detection.
+        """
+        indices = np.asarray([int(w) for w in walks], dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self._sources)):
+            raise RandomWalkError(
+                f"walk indices {walks!r} out of range for a batch of {len(self._sources)}"
+            )
+        matrix = np.ascontiguousarray(self._distributions[:, indices])
+        matrix.flags.writeable = False
+        return matrix
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------

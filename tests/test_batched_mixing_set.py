@@ -1,0 +1,169 @@
+"""Exact-equivalence suite: BatchedMixingSetSearch vs the scalar MixingSetSearch.
+
+The batched search must produce **byte-identical** ``LargestMixingSet``
+results for every column — same members (including tie-breaks), same deficit
+and mass floats, same ``sizes_examined`` — for every schedule and flag
+combination.  Dataclass equality covers all of that at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedMixingSetSearch, CDRWParameters, MixingSetSearch
+from repro.exceptions import AlgorithmError
+from repro.graphs import Graph
+from repro.randomwalk import BatchedWalkDistribution
+
+
+def random_distribution_matrix(num_vertices: int, width: int, seed: int) -> np.ndarray:
+    """Random column-stochastic matrix (each column a probability vector)."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((num_vertices, width))
+    return matrix / matrix.sum(axis=0, keepdims=True)
+
+
+def tie_heavy_distribution_matrix(num_vertices: int, width: int, seed: int) -> np.ndarray:
+    """Columns quantized to very few distinct values: maximally tied deviations."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 3, size=(num_vertices, width)).astype(np.float64)
+    sums = matrix.sum(axis=0, keepdims=True)
+    sums[sums == 0.0] = 1.0
+    return matrix / sums
+
+
+@pytest.fixture(scope="module")
+def cycle_graph() -> Graph:
+    """A 24-cycle: every vertex has degree 2, so deviation ties are pervasive."""
+    n = 24
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def assert_columns_equivalent(graph: Graph, matrix: np.ndarray, **search_kwargs) -> None:
+    """Every batched column result must equal the scalar result exactly."""
+    scalar = MixingSetSearch(graph, **search_kwargs)
+    batched = BatchedMixingSetSearch(graph, **search_kwargs)
+    walk_length = 3
+    batch_results = batched.largest_mixing_sets(matrix, walk_length)
+    assert len(batch_results) == matrix.shape[1]
+    for j in range(matrix.shape[1]):
+        column = np.ascontiguousarray(matrix[:, j])
+        assert batch_results[j] == scalar.largest_mixing_set(column, walk_length)
+
+
+class TestEquivalenceRandomDistributions:
+    @pytest.mark.parametrize("width", [1, 2, 7])
+    def test_random_columns_on_ppm(self, small_ppm, width):
+        n = small_ppm.graph.num_vertices
+        matrix = random_distribution_matrix(n, width, seed=width)
+        assert_columns_equivalent(small_ppm.graph, matrix, initial_size=5)
+
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_random_columns_on_two_cliques(self, two_cliques_graph, width):
+        matrix = random_distribution_matrix(10, width, seed=10 + width)
+        assert_columns_equivalent(two_cliques_graph, matrix, initial_size=2)
+
+    def test_linear_schedule(self, two_cliques_graph):
+        matrix = random_distribution_matrix(10, 3, seed=1)
+        assert_columns_equivalent(
+            two_cliques_graph, matrix, initial_size=2, schedule="linear"
+        )
+
+    def test_stop_at_first_failure(self, small_ppm):
+        n = small_ppm.graph.num_vertices
+        matrix = random_distribution_matrix(n, 5, seed=2)
+        assert_columns_equivalent(
+            small_ppm.graph, matrix, initial_size=5, stop_at_first_failure=True
+        )
+
+    @pytest.mark.parametrize("min_mass", [0.0, 0.5, 1.0])
+    def test_min_mass_variants(self, small_ppm, min_mass):
+        n = small_ppm.graph.num_vertices
+        matrix = random_distribution_matrix(n, 3, seed=3)
+        assert_columns_equivalent(
+            small_ppm.graph, matrix, initial_size=5, min_mass=min_mass
+        )
+
+
+class TestEquivalenceTieHeavyDistributions:
+    @pytest.mark.parametrize("width", [1, 6])
+    def test_quantized_columns_on_cycle(self, cycle_graph, width):
+        matrix = tie_heavy_distribution_matrix(24, width, seed=width)
+        assert_columns_equivalent(cycle_graph, matrix, initial_size=2)
+
+    def test_uniform_columns_maximal_ties(self, cycle_graph):
+        # All deviations identical within a column: the argpartition tie-break
+        # is fully exercised.
+        matrix = np.full((24, 4), 1.0 / 24)
+        assert_columns_equivalent(cycle_graph, matrix, initial_size=2)
+        assert_columns_equivalent(
+            cycle_graph, matrix, initial_size=2, schedule="linear"
+        )
+
+    def test_quantized_columns_with_first_failure(self, cycle_graph):
+        matrix = tie_heavy_distribution_matrix(24, 5, seed=9)
+        assert_columns_equivalent(
+            cycle_graph, matrix, initial_size=2, stop_at_first_failure=True
+        )
+
+
+class TestEquivalenceWalkDistributions:
+    def test_batched_walk_columns_across_steps(self, small_ppm):
+        graph = small_ppm.graph
+        seeds = [0, 17, 100, 17, 250]
+        walk = BatchedWalkDistribution(graph, seeds)
+        scalar = MixingSetSearch(graph, initial_size=5)
+        batched = BatchedMixingSetSearch(graph, initial_size=5)
+        for length in range(1, 6):
+            walk.step()
+            batch_results = batched.largest_mixing_sets(walk.probabilities(), length)
+            for column in range(len(seeds)):
+                expected = scalar.largest_mixing_set(walk.column(column), length)
+                assert batch_results[column] == expected
+
+    def test_from_parameters_matches_explicit_construction(self, small_ppm):
+        graph = small_ppm.graph
+        parameters = CDRWParameters(initial_size=4, min_mass=0.2, size_schedule="linear")
+        from_params = BatchedMixingSetSearch.from_parameters(graph, parameters, 4)
+        explicit = BatchedMixingSetSearch(
+            graph,
+            initial_size=4,
+            mixing_threshold=parameters.mixing_threshold,
+            growth_factor=parameters.growth_factor,
+            schedule="linear",
+            min_mass=0.2,
+        )
+        assert from_params.candidate_sizes == explicit.candidate_sizes
+        matrix = random_distribution_matrix(graph.num_vertices, 2, seed=5)
+        assert from_params.largest_mixing_sets(matrix, 1) == explicit.largest_mixing_sets(
+            matrix, 1
+        )
+
+
+class TestValidationAndEdgeCases:
+    def test_zero_width_matrix(self, two_cliques_graph):
+        batched = BatchedMixingSetSearch(two_cliques_graph, initial_size=2)
+        assert batched.largest_mixing_sets(np.zeros((10, 0)), 1) == []
+
+    def test_wrong_shape_rejected(self, two_cliques_graph):
+        batched = BatchedMixingSetSearch(two_cliques_graph, initial_size=2)
+        with pytest.raises(AlgorithmError):
+            batched.largest_mixing_sets(np.zeros(10), 1)
+        with pytest.raises(AlgorithmError):
+            batched.largest_mixing_sets(np.zeros((7, 2)), 1)
+
+    def test_edgeless_graph_rejected(self):
+        batched = BatchedMixingSetSearch(Graph(3, []), initial_size=1)
+        with pytest.raises(AlgorithmError):
+            batched.largest_mixing_sets(np.full((3, 2), 1.0 / 3.0), 1)
+
+    def test_inherits_scalar_interface(self, two_cliques_graph):
+        # The batched search is a MixingSetSearch: the scalar entry point and
+        # the schedule are shared, so drivers can use either interchangeably.
+        batched = BatchedMixingSetSearch(two_cliques_graph, initial_size=2)
+        scalar = MixingSetSearch(two_cliques_graph, initial_size=2)
+        assert batched.candidate_sizes == scalar.candidate_sizes
+        matrix = random_distribution_matrix(10, 1, seed=0)
+        column = np.ascontiguousarray(matrix[:, 0])
+        assert batched.largest_mixing_set(column, 2) == scalar.largest_mixing_set(column, 2)

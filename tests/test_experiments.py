@@ -21,6 +21,7 @@ from repro.experiments import (
     figure4b_grid,
     format_table,
     kmachine_scaling,
+    parallel_detection_scaling,
     render_experiment,
     run_trials,
 )
@@ -150,6 +151,25 @@ class TestBaselineComparison:
             compare_baselines(n=128, methods=("bogus",))
 
 
+class TestParallelDetectionScaling:
+    def test_rows_disjoint_and_accurate(self):
+        table = parallel_detection_scaling(
+            n=256, num_blocks=2, seed_counts=(1, 2), seed=0
+        )
+        assert [row.parameters["r"] for row in table.rows] == [1, 2]
+        for row in table.rows:
+            assert row.measurements["disjoint"] == 1.0
+            assert row.measurements["parallel_seconds"] > 0.0
+            assert 0.0 <= row.measurements["f_score"] <= 1.0
+            assert 1 <= row.measurements["communities"] <= row.parameters["r"]
+
+    def test_empty_seed_counts_rejected(self):
+        with pytest.raises(ExperimentError):
+            parallel_detection_scaling(n=128, seed_counts=())
+        with pytest.raises(ExperimentError):
+            parallel_detection_scaling(n=128, seed_counts=(0,))
+
+
 class TestReportingAndCli:
     def test_format_table_alignment(self):
         text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
@@ -179,3 +199,9 @@ class TestReportingAndCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "kmachine_scaling" in captured.out
+
+    def test_cli_parallel(self, capsys):
+        exit_code = main(["parallel", "--n", "256", "--blocks", "2", "--seed-counts", "1", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "parallel_detection_scaling" in captured.out
