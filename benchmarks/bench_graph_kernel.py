@@ -21,18 +21,26 @@ Measures, on a 1M-edge random graph:
   ``B ∈ {1, 8, 64}`` on a 250k-edge graph;
 * **parallel detection** — ``detect_communities_parallel`` (one shared
   batched walk + conflict resolution) against the pre-port scalar per-seed
-  loop over the same spread seeds, at ``r ∈ {1, 8, 64}`` on an 8-block PPM.
+  loop over the same spread seeds, at ``r ∈ {1, 8, 64}`` on an 8-block PPM;
+* **worker scaling** — the 64-seed steady-state step and the B=64 batched
+  mixing-set search at ``workers ∈ {1, 2, 4}`` threads (the multi-core
+  execution layer of :mod:`repro.execution`; results are bit-identical at
+  every worker count, only the wall clock moves).
 
 Run directly (``python benchmarks/bench_graph_kernel.py``) for the table, or
 through pytest (``pytest benchmarks/bench_graph_kernel.py``) to enforce the
 acceptance thresholds: construction and the 64-seed walk advance must be at
-least 10× faster than the seed scalar path, and the 64-column batched
-mixing-set search must beat the per-column loop.
+least 10× faster than the seed scalar path, the 64-column batched
+mixing-set search must beat the per-column loop, and — on machines with at
+least two cores — the threaded step and threaded search must each beat
+their ``workers=1`` timing by ≥ 1.3× (skipped on single-core runners, where
+the equivalence tests still gate the threaded paths).
 """
 
 from __future__ import annotations
 
 import functools
+import os
 import time
 
 import numpy as np
@@ -66,6 +74,8 @@ SEARCH_EDGES = 20_000
 PARALLEL_VERTICES = 2_048
 PARALLEL_BLOCKS = 8
 BATCH_WIDTHS = (1, 8, 64)
+WORKER_COUNTS = (1, 2, 4)
+THREADED_REQUIRED_SPEEDUP = 1.3
 
 
 def _best_of(function, repeats: int = 3) -> float:
@@ -150,6 +160,14 @@ def run_benchmark() -> dict[str, float]:
     results["step_batched_s"] = _best_of(lambda: operator @ matrix)
     results["step_speedup"] = results["step_scalar_s"] / results["step_batched_s"]
 
+    # -- worker scaling: threaded steady-state step ---------------------
+    for workers in WORKER_COUNTS:
+        walk = BatchedWalkDistribution(graph, seeds, workers=workers)
+        results[f"step_workers{workers}_s"] = _best_of(walk.step)
+    results["step_threads_speedup"] = results["step_workers1_s"] / min(
+        results[f"step_workers{workers}_s"] for workers in WORKER_COUNTS if workers > 1
+    )
+
     # -- batched mixing-set search (per walk step, B ∈ {1, 8, 64}) ------
     search_edges = np.random.default_rng(3).integers(
         0, SEARCH_VERTICES, size=(SEARCH_EDGES, 2), dtype=np.int64
@@ -179,6 +197,22 @@ def run_benchmark() -> dict[str, float]:
         results[f"search{width}_speedup"] = (
             results[f"search{width}_scalar_s"] / results[f"search{width}_batched_s"]
         )
+
+    # -- worker scaling: threaded B=64 mixing-set search ----------------
+    widest = np.ascontiguousarray(distributions[:, : max(BATCH_WIDTHS)])
+    for workers in WORKER_COUNTS:
+        threaded_search = BatchedMixingSetSearch(
+            search_graph, initial_size=initial_size, workers=workers
+        )
+        # Best-of-3 like the step timings: this row backs an enforced
+        # acceptance threshold, so a single scheduler hiccup must not
+        # deflate the cached speedup.
+        results[f"search_workers{workers}_s"] = _best_of(
+            lambda: threaded_search.largest_mixing_sets(widest, 5)
+        )
+    results["search_threads_speedup"] = results["search_workers1_s"] / min(
+        results[f"search_workers{workers}_s"] for workers in WORKER_COUNTS if workers > 1
+    )
 
     # -- parallel detection (shared batched walk, r ∈ {1, 8, 64}) -------
     n = PARALLEL_VERTICES
@@ -235,6 +269,23 @@ def print_table(results: dict[str, float]) -> None:
             f"{label:26s} {results[scalar_key]:11.4f} "
             f"{results[vector_key]:15.4f} {results[speedup_key]:8.1f}x"
         )
+    print()
+    print_workers_table(results)
+
+
+def print_workers_table(results: dict[str, float]) -> None:
+    """Print the workers ∈ {1, 2, 4} scaling table of the two threaded kernels."""
+    header = "".join(f"{f'workers={w} [s]':>15s}" for w in WORKER_COUNTS)
+    print(f"{'threaded kernel':26s}{header} {'best speedup':>13s}")
+    for label, prefix, speedup_key in (
+        ("64-seed steady step", "step_workers", "step_threads_speedup"),
+        (f"mixing search B={max(BATCH_WIDTHS)}", "search_workers", "search_threads_speedup"),
+    ):
+        timings = "".join(f"{results[f'{prefix}{w}_s']:15.4f}" for w in WORKER_COUNTS)
+        print(f"{label:26s}{timings} {results[speedup_key]:12.1f}x")
+    cores = os.cpu_count() or 1
+    print(f"(host has {cores} core{'s' if cores != 1 else ''}; "
+          f"threaded results are bit-identical to workers=1 at any count)")
 
 
 @pytest.mark.perf
@@ -270,6 +321,28 @@ def test_parallel_detection_beats_scalar_loop_at_64():
     assert results["parallel64_speedup"] > 1.0, results
 
 
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="threaded speedups need >= 2 cores; equivalence tests gate single-core runners",
+)
+def test_threaded_steady_step_speedup_at_least_1_3x():
+    """Acceptance: the column-blocked step must scale on multi-core hosts."""
+    results = run_benchmark()
+    assert results["step_threads_speedup"] >= THREADED_REQUIRED_SPEEDUP, results
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="threaded speedups need >= 2 cores; equivalence tests gate single-core runners",
+)
+def test_threaded_search_speedup_at_least_1_3x():
+    """Acceptance: the lane-blocked B=64 search must scale on multi-core hosts."""
+    results = run_benchmark()
+    assert results["search_threads_speedup"] >= THREADED_REQUIRED_SPEEDUP, results
+
+
 if __name__ == "__main__":
     table = run_benchmark()
     print_table(table)
@@ -280,9 +353,20 @@ if __name__ == "__main__":
         failed.append("walk advance")
     if table["search64_speedup"] <= 1.0:
         failed.append("64-column mixing search")
+    multicore = (os.cpu_count() or 1) >= 2
+    if multicore:
+        if table["step_threads_speedup"] < THREADED_REQUIRED_SPEEDUP:
+            failed.append("threaded steady step")
+        if table["search_threads_speedup"] < THREADED_REQUIRED_SPEEDUP:
+            failed.append("threaded mixing search")
     if failed:
         raise SystemExit(f"speedup thresholds not met for: {', '.join(failed)}")
     print(
         f"\nacceptance: construction and 64-seed walk advance >= {REQUIRED_SPEEDUP}x, "
         f"64-column batched search > 1x"
+        + (
+            f", threaded step/search >= {THREADED_REQUIRED_SPEEDUP}x"
+            if multicore
+            else " (single core: threaded thresholds not enforced)"
+        )
     )

@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     batched.add_argument("--blocks", type=int, default=4)
     batched.add_argument("--num-seeds", type=int, default=16)
     batched.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16])
+    batched.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="threads for the batched kernels (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
 
     parallel = subparsers.add_parser(
         "parallel",
@@ -90,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--n", type=int, default=1024)
     parallel.add_argument("--blocks", type=int, default=4)
     parallel.add_argument("--seed-counts", type=int, nargs="+", default=[1, 2, 4])
+    parallel.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="threads for the batched kernels (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
 
     return parser
 
@@ -133,6 +145,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_seeds=arguments.num_seeds,
             batch_sizes=tuple(arguments.batch_sizes),
             seed=arguments.seed,
+            workers=arguments.workers,
         )
     elif arguments.command == "parallel":
         table = parallel_detection_scaling(
@@ -140,6 +153,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_blocks=arguments.blocks,
             seed_counts=tuple(arguments.seed_counts),
             seed=arguments.seed,
+            workers=arguments.workers,
         )
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {arguments.command!r}")

@@ -24,13 +24,13 @@ per-message objects).  The results are identical; tests assert it.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..exceptions import SimulationError
 from ..graphs.traversal import BFSResult
+from ..utils import ceil_log2
 from .network import CongestNetwork
 
 __all__ = [
@@ -167,8 +167,9 @@ def select_k_smallest(
     if count_only:
         # Binary search over the (perturbed, hence distinct) values takes at
         # most ceil(log2 |reached|) iterations; each iteration is one pivot
-        # broadcast plus one count convergecast.
-        iterations = max(1, int(math.ceil(math.log2(max(len(reached), 2)))))
+        # broadcast plus one count convergecast.  ceil_log2 keeps the round
+        # charge in integer arithmetic.
+        iterations = max(1, ceil_log2(max(len(reached), 2)))
         # Initial min/max convergecast.
         network.charge_rounds(depth)
         network.charge_messages(kind, edges)

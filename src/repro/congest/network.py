@@ -53,7 +53,12 @@ class CostReport:
     messages: int
     messages_by_kind: dict[str, int] = field(default_factory=dict)
 
-    def __add__(self, other: "CostReport") -> "CostReport":
+    def __add__(self, other: object) -> "CostReport":
+        # Foreign types get NotImplemented (not an AttributeError deep in the
+        # kind merge) so Python can try the reflected operation or raise a
+        # proper TypeError.
+        if not isinstance(other, CostReport):
+            return NotImplemented
         kinds = defaultdict(int, self.messages_by_kind)
         for kind, count in other.messages_by_kind.items():
             kinds[kind] += count
@@ -62,6 +67,15 @@ class CostReport:
             messages=self.messages + other.messages,
             messages_by_kind=dict(kinds),
         )
+
+    def __radd__(self, other: object) -> "CostReport":
+        # ``sum(reports)`` starts from the int 0; absorb exactly that
+        # identity (an equality-only test would also swallow 0.0/False and
+        # choke on broadcasting __eq__ types like numpy arrays) so
+        # experiments can aggregate per-phase reports with plain ``sum``.
+        if isinstance(other, int) and not isinstance(other, bool) and other == 0:
+            return self
+        return NotImplemented
 
 
 class CongestNetwork:

@@ -1,5 +1,6 @@
 """CDRW core: the paper's community detection algorithm and its building blocks."""
 
+from ..execution import block_ranges, parallel_map_blocks, resolve_workers
 from .parameters import CDRWParameters
 from .mixing_set import (
     BatchedMixingSetSearch,
@@ -16,6 +17,9 @@ from .parallel import detect_communities_parallel, select_spread_seeds
 
 __all__ = [
     "CDRWParameters",
+    "block_ranges",
+    "parallel_map_blocks",
+    "resolve_workers",
     "BatchedMixingSetSearch",
     "LargestMixingSet",
     "MixingSetSearch",

@@ -59,6 +59,7 @@ def detect_community_batch(
     delta_hint: float | None = None,
     *,
     capture_distributions: bool = False,
+    workers: int | None = None,
 ) -> list[CommunityResult] | tuple[list[CommunityResult], np.ndarray]:
     """Detect the community of every seed in ``seeds``, sharing one batched walk.
 
@@ -73,6 +74,12 @@ def detect_community_batch(
     vector for the edgeless fast path).  The parallel driver uses these to
     resolve conflicts between overlapping communities without re-running any
     walk.
+
+    ``workers`` selects the thread count of the two hot kernels — the
+    column-blocked walk step and the lane-blocked mixing-set scan (``None``
+    → the ``REPRO_WORKERS`` environment override, default serial; ``0`` →
+    all cores).  Both kernels are bit-identical per column/lane for every
+    value, so the detected communities never depend on it.
     """
     seed_list = [int(s) for s in seeds]
     if not seed_list:
@@ -108,9 +115,13 @@ def detect_community_batch(
 
     # The search is stateless across walk lengths, so one instance serves the
     # whole batch; the stopping rule is stateful and stays per-seed.
-    search = BatchedMixingSetSearch.from_parameters(graph, parameters, initial_size)
+    search = BatchedMixingSetSearch.from_parameters(
+        graph, parameters, initial_size, workers=workers
+    )
     stoppings = [GrowthStoppingRule(delta=delta) for _ in seed_list]
-    walk = BatchedWalkDistribution(graph, seed_list, lazy=parameters.lazy_walk)
+    walk = BatchedWalkDistribution(
+        graph, seed_list, lazy=parameters.lazy_walk, workers=workers
+    )
 
     num_seeds = len(seed_list)
     histories: list[list[LargestMixingSet]] = [[] for _ in range(num_seeds)]
@@ -186,6 +197,7 @@ def detect_communities_batched(
     max_seeds: int | None = None,
     batch_size: int = 8,
     seeds: list[int] | tuple[int, ...] | np.ndarray | None = None,
+    workers: int | None = None,
 ) -> DetectionResult:
     """Run the pool loop of Algorithm 1 with batched multi-seed detection.
 
@@ -203,6 +215,10 @@ def detect_communities_batched(
         Optional explicit seed vertices.  When given, the pool and ``seed``
         are ignored and the listed seeds are processed in order — identical
         output to a sequential loop of ``detect_community`` over the list.
+    workers:
+        Thread count for the batched kernels (see
+        :func:`detect_community_batch`); results are identical for every
+        value.
 
     Notes
     -----
@@ -224,7 +240,11 @@ def detect_communities_batched(
         for start in range(0, len(seed_list), batch_size):
             results.extend(
                 detect_community_batch(
-                    graph, seed_list[start:start + batch_size], parameters, delta_hint
+                    graph,
+                    seed_list[start:start + batch_size],
+                    parameters,
+                    delta_hint,
+                    workers=workers,
                 )
             )
         return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
@@ -250,7 +270,9 @@ def detect_communities_batched(
             remaining -= 1
         if not round_seeds:
             break
-        for result in detect_community_batch(graph, round_seeds, parameters, delta_hint):
+        for result in detect_community_batch(
+            graph, round_seeds, parameters, delta_hint, workers=workers
+        ):
             results.append(result)
             remaining -= _remove_detected(pool, result)
     return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))

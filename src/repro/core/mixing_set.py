@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import AlgorithmError
+from ..execution import parallel_map_blocks, resolve_workers
 from ..graphs.graph import Graph
 from ..utils import GROWTH_FACTOR, MIXING_THRESHOLD, geometric_sizes, linear_sizes
 
@@ -249,18 +250,62 @@ class BatchedMixingSetSearch(MixingSetSearch):
 
     ``tests/test_batched_mixing_set.py`` asserts the equivalence on random
     and tie-heavy distributions for every schedule/flag combination.
+
+    Multi-core search
+    -----------------
+    At n ≳ 50k the batched scan is memory-bound on one core (ROADMAP).  The
+    ``workers`` knob (``None`` → ``REPRO_WORKERS`` environment override →
+    serial; ``0`` → all cores) splits the per-lane work across threads of
+    the shared pool (:mod:`repro.execution`) by contiguous *lane block*.
+    Every lane's deviations, argpartition and contiguous gather-sums are
+    computed from that lane's row alone, independent of which other lanes
+    share a block, so the exact-equivalence guarantee above holds for every
+    ``workers`` value (asserted by ``tests/test_execution.py``).
+
+    float32 fast path
+    -----------------
+    ``dtype=np.float32`` halves the memory traffic of the deviation scan —
+    the knob for searches that are bandwidth-bound, not precision-bound.  It
+    is explicitly **not** covered by the exactness guarantee: deviations,
+    deficits and masses are computed in single precision (then widened for
+    the threshold comparisons), so reported floats are only ≈-close to the
+    float64 path and argpartition near-ties may select different members.
+    Tests assert closeness, never equality, for this path.
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args, workers: int | None = None, dtype=np.float64, **kwargs):
         super().__init__(*args, **kwargs)
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise AlgorithmError(
+                f"batched search dtype must be float64 or float32, got {dtype!r}"
+            )
+        self._workers = resolve_workers(workers)
         # Shared per-call constants, hoisted out of the size loop.  The
         # average volume is computed as (volume/n)·size — the same float
         # sequence as deviation_values — so targets stay bit-identical.
-        self._degrees = self._graph.degrees().astype(np.float64)
+        self._degrees = self._graph.degrees().astype(self._dtype)
         self._volume_per_vertex = self._graph.volume / self._graph.num_vertices
 
+    @property
+    def workers(self) -> int:
+        """The resolved thread count used by the lane-blocked scan."""
+        return self._workers
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The scan precision (float64 exact path or float32 fast path)."""
+        return self._dtype
+
     @classmethod
-    def from_parameters(cls, graph: Graph, parameters, initial_size: int) -> "BatchedMixingSetSearch":
+    def from_parameters(
+        cls,
+        graph: Graph,
+        parameters,
+        initial_size: int,
+        workers: int | None = None,
+        dtype=np.float64,
+    ) -> "BatchedMixingSetSearch":
         """Build a batched search from a :class:`CDRWParameters` instance."""
         return cls(
             graph,
@@ -270,6 +315,8 @@ class BatchedMixingSetSearch(MixingSetSearch):
             schedule=parameters.size_schedule,
             stop_at_first_failure=parameters.stop_at_first_failure,
             min_mass=parameters.min_mass,
+            workers=workers,
+            dtype=dtype,
         )
 
     def largest_mixing_sets(
@@ -296,9 +343,11 @@ class BatchedMixingSetSearch(MixingSetSearch):
         num_vertices, width = matrix.shape
         if width == 0:
             return []
-        if width == 1:
+        if width == 1 and self._dtype == np.dtype(np.float64):
             # A one-walk batch gains nothing from the transpose and block
-            # bookkeeping; the scalar search is the same computation.
+            # bookkeeping; the scalar search is the same computation.  (The
+            # float32 fast path must still go through the batched scan so
+            # its precision is dtype-consistent at every width.)
             column = np.ascontiguousarray(matrix[:, 0])
             return [self.largest_mixing_set(column, walk_length)]
         # Work row-major with one distribution per *row*: the per-lane
@@ -306,8 +355,9 @@ class BatchedMixingSetSearch(MixingSetSearch):
         # memory.  (Partitioning the (n, B) matrix along axis 0 walks lanes
         # with stride 8B bytes — measured 6x slower than the scalar loop at
         # B = 64 on a 50k-vertex graph.)  The transpose changes layout only,
-        # never the per-lane value sequence, so results are unaffected.
-        rows = np.ascontiguousarray(matrix.T)
+        # never the per-lane value sequence, so results are unaffected; the
+        # float32 fast path casts here, in the same pass.
+        rows = np.ascontiguousarray(matrix.T, dtype=self._dtype)
 
         best_size = [0] * width
         best_members: list[np.ndarray | None] = [None] * width
@@ -319,60 +369,30 @@ class BatchedMixingSetSearch(MixingSetSearch):
         # candidate schedule before the next block starts: the block's rows
         # stay hot across all sizes (the scalar loop's one cache advantage),
         # while targets and the elementwise/argpartition passes amortize over
-        # the block.  One (lanes, n) float64 array per _SEARCH_BLOCK_BYTES.
-        block_width = max(1, min(width, _SEARCH_BLOCK_BYTES // max(1, num_vertices * 8)))
+        # the block.  One (lanes, n) array per _SEARCH_BLOCK_BYTES.
+        block_width = max(
+            1, min(width, _SEARCH_BLOCK_BYTES // max(1, num_vertices * rows.itemsize))
+        )
 
-        for start in range(0, width, block_width):
-            stop = min(start + block_width, width)
-            # Global column ids of the lanes still scanning the schedule;
-            # only stop_at_first_failure ever removes a lane early
-            # (mirroring the scalar `break`).
-            columns = np.arange(start, stop)
-            lanes = rows[start:stop]
-            deviations = np.empty_like(lanes)
-            for size in self._sizes:
-                average_volume = self._volume_per_vertex * size
-                targets = self._degrees / average_volume
-                np.subtract(lanes, targets[None, :], out=deviations)
-                np.absolute(deviations, out=deviations)
-                if size >= num_vertices:
-                    chosen = None
-                    deficits = deviations.sum(axis=1)
-                    masses = lanes.sum(axis=1)
-                else:
-                    chosen = np.argpartition(deviations, size - 1, axis=1)[:, :size]
-                    chosen.sort(axis=1)
-                    # take_along_axis gathers contiguously in vertex-id order
-                    # and the last-axis reduction applies the same pairwise
-                    # blocking as the scalar 1-D `deviations[chosen].sum()`.
-                    deficits = np.take_along_axis(deviations, chosen, axis=1).sum(axis=1)
-                    masses = np.take_along_axis(lanes, chosen, axis=1).sum(axis=1)
-                failed: list[int] = []
-                for position in range(columns.size):
-                    column = int(columns[position])
-                    examined[column] += 1
-                    deficit = float(deficits[position])
-                    mass = float(masses[position])
-                    if deficit < self._threshold and mass >= self._min_mass:
-                        best_size[column] = size
-                        best_members[column] = (
-                            np.arange(num_vertices, dtype=np.int64)
-                            if chosen is None
-                            # Copy: the row view must not keep this size's
-                            # full index matrix alive per column.
-                            else chosen[position].copy()
-                        )
-                        best_deficit[column] = deficit
-                        best_mass[column] = mass
-                    elif deficit >= self._threshold and self._stop_at_first_failure:
-                        failed.append(position)
-                if failed:
-                    keep = np.delete(np.arange(columns.size), failed)
-                    if keep.size == 0:
-                        break
-                    columns = columns[keep]
-                    lanes = np.ascontiguousarray(lanes[keep])
-                    deviations = np.empty_like(lanes)
+        def scan_lanes(lane_start: int, lane_stop: int) -> None:
+            # Worker task: scan a contiguous lane range in cache-sized
+            # blocks.  Every lane's results depend only on its own row, so
+            # neither the block boundaries nor the worker partition change a
+            # single output value, and each lane index is written by exactly
+            # one worker (disjoint slices — no locking needed).
+            for start in range(lane_start, lane_stop, block_width):
+                self._scan_block(
+                    rows,
+                    start,
+                    min(start + block_width, lane_stop),
+                    best_size,
+                    best_members,
+                    best_deficit,
+                    best_mass,
+                    examined,
+                )
+
+        parallel_map_blocks(scan_lanes, width, self._workers)
 
         results: list[LargestMixingSet] = []
         for column in range(width):
@@ -391,3 +411,71 @@ class BatchedMixingSetSearch(MixingSetSearch):
                 )
             )
         return results
+
+    def _scan_block(
+        self,
+        rows: np.ndarray,
+        start: int,
+        stop: int,
+        best_size: list[int],
+        best_members: list[np.ndarray | None],
+        best_deficit: list[float],
+        best_mass: list[float],
+        examined: list[int],
+    ) -> None:
+        """Scan the whole candidate schedule for lanes ``start:stop`` of ``rows``.
+
+        Writes each lane's best accepted candidate into the shared result
+        lists at its global lane index; lanes outside ``start:stop`` are
+        never touched, which is what makes the blocks thread-safe.
+        """
+        num_vertices = rows.shape[1]
+        # Global column ids of the lanes still scanning the schedule; only
+        # stop_at_first_failure ever removes a lane early (mirroring the
+        # scalar `break`).
+        columns = np.arange(start, stop)
+        lanes = rows[start:stop]
+        deviations = np.empty_like(lanes)
+        for size in self._sizes:
+            average_volume = self._volume_per_vertex * size
+            targets = self._degrees / average_volume
+            np.subtract(lanes, targets[None, :], out=deviations)
+            np.absolute(deviations, out=deviations)
+            if size >= num_vertices:
+                chosen = None
+                deficits = deviations.sum(axis=1)
+                masses = lanes.sum(axis=1)
+            else:
+                chosen = np.argpartition(deviations, size - 1, axis=1)[:, :size]
+                chosen.sort(axis=1)
+                # take_along_axis gathers contiguously in vertex-id order
+                # and the last-axis reduction applies the same pairwise
+                # blocking as the scalar 1-D `deviations[chosen].sum()`.
+                deficits = np.take_along_axis(deviations, chosen, axis=1).sum(axis=1)
+                masses = np.take_along_axis(lanes, chosen, axis=1).sum(axis=1)
+            failed: list[int] = []
+            for position in range(columns.size):
+                column = int(columns[position])
+                examined[column] += 1
+                deficit = float(deficits[position])
+                mass = float(masses[position])
+                if deficit < self._threshold and mass >= self._min_mass:
+                    best_size[column] = size
+                    best_members[column] = (
+                        np.arange(num_vertices, dtype=np.int64)
+                        if chosen is None
+                        # Copy: the row view must not keep this size's
+                        # full index matrix alive per column.
+                        else chosen[position].copy()
+                    )
+                    best_deficit[column] = deficit
+                    best_mass[column] = mass
+                elif deficit >= self._threshold and self._stop_at_first_failure:
+                    failed.append(position)
+            if failed:
+                keep = np.delete(np.arange(columns.size), failed)
+                if keep.size == 0:
+                    break
+                columns = columns[keep]
+                lanes = np.ascontiguousarray(lanes[keep])
+                deviations = np.empty_like(lanes)

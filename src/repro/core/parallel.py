@@ -52,13 +52,14 @@ def select_spread_seeds(
 
     Seeds are drawn uniformly from the vertices that still satisfy the
     spacing constraint (every draw is productive — no rejection sampling
-    burning attempts on already-blocked vertices), so ``max_attempts`` now
-    simply caps the number of spread draws; it only cuts the spread phase
-    short when set below ``count``.  When the constraint cannot be met for
-    all ``count`` seeds, the fallback first draws from the remaining
-    *unblocked* vertices and only then relaxes to arbitrary unchosen
-    vertices, so spacing violations happen only when no valid spread seed
-    remains.
+    burning attempts on already-blocked vertices), each draw blocking the
+    BFS ball around its pick, until ``count`` seeds are chosen or no valid
+    vertex remains; only then is the constraint relaxed to arbitrary
+    unchosen vertices.  Spacing violations therefore happen only when no
+    valid spread seed remains.  ``max_attempts`` is kept for backward
+    compatibility but no longer affects the outcome: every draw is
+    productive, so capping the draw phase merely handed the identical
+    remaining draws to what used to be the fallback loop.
     """
     if count < 1:
         raise AlgorithmError(f"seed count must be >= 1, got {count}")
@@ -67,14 +68,10 @@ def select_spread_seeds(
             f"cannot pick {count} distinct seeds from {graph.num_vertices} vertices"
         )
     rng = as_rng(seed)
-    if max_attempts is None:
-        max_attempts = 20 * count
 
     chosen: list[int] = []
     available = np.ones(graph.num_vertices, dtype=bool)
-    attempts = 0
-    while len(chosen) < count and attempts < max_attempts:
-        attempts += 1
+    while len(chosen) < count:
         candidates = np.flatnonzero(available)
         if candidates.size == 0:
             break
@@ -84,14 +81,6 @@ def select_spread_seeds(
             nearby = bfs_tree(graph, candidate, max_depth=min_distance - 1)
             available[nearby.reached()] = False
         available[candidate] = False
-    if len(chosen) < count:
-        # Prefer vertices that still satisfy the spacing constraint; the
-        # main loop cannot have missed them unless it ran out of attempts.
-        unblocked = np.flatnonzero(available)
-        take = min(count - len(chosen), int(unblocked.size))
-        if take > 0:
-            extra = rng.choice(unblocked, size=take, replace=False)
-            chosen.extend(int(v) for v in extra)
     if len(chosen) < count:
         # Only now relax the constraint: no valid spread seed remains.
         chosen_set = set(chosen)
@@ -109,6 +98,7 @@ def detect_communities_parallel(
     seed: int | np.random.Generator | None = None,
     overlap_merge_threshold: float = 0.5,
     seed_min_distance: int = 2,
+    workers: int | None = None,
 ) -> DetectionResult:
     """Detect ``num_communities`` communities from simultaneously started seeds.
 
@@ -131,6 +121,10 @@ def detect_communities_parallel(
     seed_min_distance:
         Minimum pairwise hop distance between seeds (see
         :func:`select_spread_seeds`).
+    workers:
+        Thread count for the shared batched kernels (see
+        :func:`~repro.core.batched.detect_community_batch`); the detected
+        communities are identical for every value.
     """
     if num_communities < 1:
         raise AlgorithmError(f"num_communities must be >= 1, got {num_communities}")
@@ -145,7 +139,7 @@ def detect_communities_parallel(
         graph, num_communities, min_distance=seed_min_distance, seed=rng
     )
     raw_results, distributions = detect_community_batch(
-        graph, seeds, parameters, delta_hint, capture_distributions=True
+        graph, seeds, parameters, delta_hint, capture_distributions=True, workers=workers
     )
 
     # Step 2 aftermath: drop duplicates of already-kept blocks (earlier seed

@@ -36,6 +36,7 @@ def batched_detection_scaling(
     batch_sizes: tuple[int, ...] = (1, 4, 16),
     seed: int = 0,
     parameters: CDRWParameters | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Measure batched multi-seed detection throughput on one PPM instance.
 
@@ -48,6 +49,10 @@ def batched_detection_scaling(
         every row so the timings are directly comparable.
     batch_sizes:
         Batch widths to measure, each as one row next to the scalar baseline.
+    workers:
+        Thread count for the batched kernels (``None`` → ``REPRO_WORKERS``
+        env override, default serial); the detected communities are
+        identical for every value, only the timings move.
     """
     if num_seeds < 1:
         raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
@@ -93,6 +98,7 @@ def batched_detection_scaling(
             delta_hint=delta,
             batch_size=int(batch_size),
             seeds=seeds,
+            workers=workers,
         )
         table.add_row(
             {"path": "batched", "batch_size": int(batch_size)},

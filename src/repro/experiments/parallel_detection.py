@@ -34,6 +34,7 @@ def parallel_detection_scaling(
     seed: int = 0,
     parameters: CDRWParameters | None = None,
     seed_min_distance: int = 2,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Measure parallel multi-seed detection throughput on one PPM instance.
 
@@ -45,6 +46,10 @@ def parallel_detection_scaling(
         The seed counts ``r`` to measure, one row per value; each row
         compares the scalar per-seed loop over the *same* spread seeds
         against the batched parallel path.
+    workers:
+        Thread count for the shared batched kernels (``None`` →
+        ``REPRO_WORKERS`` env override, default serial); the detected
+        communities are identical for every value, only the timings move.
     """
     if not seed_counts:
         raise ExperimentError("seed_counts must not be empty")
@@ -83,6 +88,7 @@ def parallel_detection_scaling(
             delta_hint=delta,
             seed=seed,
             seed_min_distance=seed_min_distance,
+            workers=workers,
         )
         communities = detection.detected_sets()
         disjoint = all(

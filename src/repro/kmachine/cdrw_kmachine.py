@@ -22,7 +22,6 @@ Theorem prediction ``Õ(M/k² + ΔT/k)`` and the closed-form bound of the paper
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,7 +34,7 @@ from ..exceptions import MachineError
 from ..graphs.graph import Graph
 from ..graphs.traversal import bfs_tree
 from ..randomwalk.distribution import WalkDistribution
-from ..utils import as_rng
+from ..utils import as_rng, ceil_log2
 from .partition import RandomVertexPartition
 from .simulator import KMachineCost, KMachineNetwork
 
@@ -135,7 +134,9 @@ def detect_community_kmachine(
     _route_bfs(network, graph, tree)
     tree_children, tree_parents = _tree_edge_endpoints(tree)
     reached_count = len(tree.reached())
-    selection_iterations = max(1, int(math.ceil(math.log2(max(reached_count, 2)))))
+    # ceil_log2 keeps the binary-search round charge in integer arithmetic
+    # instead of ceiling a float log.
+    selection_iterations = max(1, ceil_log2(max(reached_count, 2)))
 
     search = MixingSetSearch(
         graph,

@@ -132,13 +132,20 @@ class KMachineNetwork:
         return loads, inter, local
 
     def rounds_for_loads(self, loads: np.ndarray) -> int:
-        """Return the k-machine rounds needed to deliver the given link loads."""
+        """Return the k-machine rounds needed to deliver the given link loads.
+
+        The charge is the exact integer ceiling ``⌈heaviest / bandwidth⌉``.
+        Ceiling the *float* quotient (the previous implementation) loses
+        exactness once the heaviest load nears 2⁵³ — e.g. ``2⁵³ + 1``
+        messages at bandwidth 1 round to one round too few — so the division
+        stays in integer arithmetic.
+        """
         if loads.size == 0:
             return 0
         heaviest = int(loads.max())
         if heaviest == 0:
             return 0
-        return int(np.ceil(heaviest / self._bandwidth))
+        return -(-heaviest // self._bandwidth)
 
     def route_congest_round(
         self, sources: np.ndarray, targets: np.ndarray, repeat: int = 1

@@ -21,6 +21,7 @@ __all__ = [
     "linear_sizes",
     "MIXING_THRESHOLD",
     "GROWTH_FACTOR",
+    "ceil_log2",
     "harmonic_mean",
     "safe_ratio",
     "chunked",
@@ -116,6 +117,18 @@ def linear_sizes(start: int, stop: int, step: int = 1) -> list[int]:
     return sizes
 
 
+def ceil_log2(n: int) -> int:
+    """Exact ``⌈log₂ n⌉`` for ``n ≥ 1`` in integer arithmetic.
+
+    ``(n − 1).bit_length()`` never passes through a float, so cost-accounting
+    round charges built on it stay exact for arbitrarily large ``n`` (unlike
+    ``ceil(log2(float(n)))``).
+    """
+    if n < 1:
+        raise ReproError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
 def harmonic_mean(a: float, b: float) -> float:
     """Harmonic mean of two non-negative numbers; 0 if either is 0.
 
@@ -125,7 +138,13 @@ def harmonic_mean(a: float, b: float) -> float:
         raise ReproError(f"harmonic mean requires non-negative inputs, got {a}, {b}")
     if a + b == 0:
         return 0.0
-    return 2.0 * a * b / (a + b)
+    # Divide before multiplying: the naive 2ab/(a+b) underflows the a·b
+    # product into subnormals when both inputs are tiny (e.g. a ~ 1e-102,
+    # b ~ 1e-221), inflating the result past the mathematical bound
+    # 2·min(a, b).  low/(low+high) ≤ 1/2 keeps every intermediate in normal
+    # range, and ordering the operands keeps the function bit-commutative.
+    low, high = (a, b) if a <= b else (b, a)
+    return 2.0 * high * (low / (low + high))
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:

@@ -97,6 +97,35 @@ class TestCongestNetwork:
         combined = a + network.cost_report()
         assert combined.messages == 2 + 5
 
+    def test_cost_report_sum_builtin(self, triangle_graph):
+        """sum() starts from 0; __radd__ must absorb it so phase reports aggregate."""
+        network = CongestNetwork(triangle_graph)
+        reports = []
+        for kind, count in (("a", 2), ("b", 3), ("a", 4)):
+            network.reset_costs()
+            network.charge_rounds(1)
+            network.charge_messages(kind, count)
+            reports.append(network.cost_report())
+        total = sum(reports)
+        assert total.rounds == 3
+        assert total.messages == 9
+        assert total.messages_by_kind == {"a": 6, "b": 3}
+        assert sum(reports[:1]) == reports[0]
+
+    def test_cost_report_foreign_addition_raises_type_error(self, triangle_graph):
+        report = CongestNetwork(triangle_graph).cost_report()
+        with pytest.raises(TypeError):
+            report + 1
+        with pytest.raises(TypeError):
+            1 + report
+        with pytest.raises(TypeError):
+            report + "rounds"
+        # Only sum()'s int 0 is absorbed — zero-equal foreigners are not.
+        with pytest.raises(TypeError):
+            0.0 + report
+        with pytest.raises(TypeError):
+            False + report
+
     def test_empty_graph_rejected(self):
         with pytest.raises(SimulationError):
             CongestNetwork(Graph(0, []))

@@ -94,6 +94,25 @@ class TestKMachineNetwork:
         thrice = network.route_congest_round(sources, targets, repeat=3)
         assert thrice == 3 * once
 
+    def test_rounds_for_loads_exact_integer_ceiling(self):
+        """Round charges must use exact integer ceiling division, not np.ceil."""
+        partition = RandomVertexPartition(4, 2)
+        network = KMachineNetwork(partition, bandwidth_messages=3)
+        for heaviest, expected in ((1, 1), (3, 1), (4, 2), (6, 2), (7, 3)):
+            loads = np.array([[0, heaviest], [0, 0]], dtype=np.int64)
+            assert network.rounds_for_loads(loads) == expected
+
+    def test_rounds_for_loads_exact_beyond_float_precision(self):
+        # 2^53 + 1 is the first integer a float64 quotient cannot represent:
+        # np.ceil((2**53 + 1) / 1.0) charged one round too few.
+        heaviest = 2**53 + 1
+        partition = RandomVertexPartition(4, 2)
+        unit = KMachineNetwork(partition, bandwidth_messages=1)
+        loads = np.array([[0, heaviest], [0, 0]], dtype=np.int64)
+        assert unit.rounds_for_loads(loads) == heaviest
+        wide = KMachineNetwork(partition, bandwidth_messages=3)
+        assert wide.rounds_for_loads(loads) == -(-heaviest // 3)
+
     def test_all_local_messages_cost_zero_rounds(self):
         partition = RandomVertexPartition(4, 1, method="hash")
         network = KMachineNetwork(partition)

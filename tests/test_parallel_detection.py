@@ -259,6 +259,19 @@ class TestSpreadSeedFallbackFixes:
             # -1 means unreachable, i.e. infinitely far apart.
             assert distance == -1 or distance >= 2, (first, second)
 
+    def test_fallback_extras_are_pairwise_spread(self, three_triangles):
+        """Regression: the fallback drew its extras in one batch, so two of
+        them could violate the spacing *with each other* even though spread
+        vertices remained.  With ``max_attempts=1`` the main loop places one
+        seed; the two fallback draws must still land one per triangle.
+        """
+        for seed in range(10):
+            seeds = select_spread_seeds(
+                three_triangles, 3, min_distance=3, seed=seed, max_attempts=1
+            )
+            triangles = {s // 3 for s in seeds}
+            assert triangles == {0, 1, 2}, seeds
+
     def test_relaxation_still_fills_the_count(self, triangle_graph):
         # Only one spread seed can exist at min_distance=2 in a triangle; the
         # remaining two must come from the relaxed fallback, still distinct.
