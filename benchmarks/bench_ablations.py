@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 
-from repro.core import CDRWParameters, detect_communities
+from repro.api import RunConfig, detect
+from repro.core import CDRWParameters
 from repro.experiments.runner import ExperimentTable
 from repro.experiments.reporting import render_experiment
 from repro.graphs import planted_partition_graph, ppm_expected_conductance
@@ -35,7 +36,13 @@ def _run_variants(variants):
         description="F-score and detections of CDRW parameter variants on one PPM instance",
     )
     for label, parameters in variants.items():
-        detection = detect_communities(ppm.graph, parameters, delta_hint=delta, seed=3)
+        detection = detect(
+            ppm.graph,
+            backend="scalar",
+            params=parameters,
+            delta_hint=delta,
+            config=RunConfig(seed=3),
+        ).detection
         table.add_row(
             parameters={"variant": label},
             measurements={

@@ -46,9 +46,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.api import RunConfig, detect
 from repro.core import BatchedMixingSetSearch, MixingSetSearch
-from repro.core.cdrw import detect_community
-from repro.core.parallel import detect_communities_parallel, select_spread_seeds
+from repro.core.parallel import select_spread_seeds
 from repro.graphs import Graph, planted_partition_graph, ppm_expected_conductance
 from repro.graphs.reference import (
     scalar_csr_arrays,
@@ -221,13 +221,26 @@ def run_benchmark() -> dict[str, float]:
     ppm = planted_partition_graph(n, PARALLEL_BLOCKS, p, q, seed=5)
     delta = ppm_expected_conductance(n, PARALLEL_BLOCKS, p, q)
     for width in BATCH_WIDTHS:
+        # Both rows run through the unified facade (repro.api.detect): the
+        # scalar per-seed loop as the "scalar" backend over the explicit
+        # spread seeds, the shared-walk path as the "parallel" backend.
         spread = select_spread_seeds(ppm.graph, width, seed=6)
         results[f"parallel{width}_scalar_s"] = _best_of(
-            lambda: [detect_community(ppm.graph, s, delta_hint=delta) for s in spread],
+            lambda: detect(
+                ppm.graph,
+                backend="scalar",
+                delta_hint=delta,
+                config=RunConfig(seeds=tuple(spread)),
+            ),
             repeats=1,
         )
         results[f"parallel{width}_batched_s"] = _best_of(
-            lambda: detect_communities_parallel(ppm.graph, width, delta_hint=delta, seed=6),
+            lambda: detect(
+                ppm.graph,
+                backend="parallel",
+                delta_hint=delta,
+                config=RunConfig(seed=6, num_communities=width),
+            ),
             repeats=1,
         )
         results[f"parallel{width}_speedup"] = (

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 
-from repro import detect_communities, planted_partition_graph
+from repro import RunConfig, detect, planted_partition_graph
 from repro.graphs import mixing_parameter, ppm_expected_conductance
 from repro.metrics import average_f_score
 
@@ -35,7 +35,12 @@ def main() -> None:
     for label, q in q_values.items():
         ppm = planted_partition_graph(n, num_blocks, p, q, seed=1)
         delta = ppm_expected_conductance(n, num_blocks, p, q)
-        detection = detect_communities(ppm.graph, delta_hint=delta, seed=1)
+        detection = detect(
+            ppm.graph,
+            backend="batched",
+            delta_hint=delta,
+            config=RunConfig(seed=1, batch_size=1),
+        ).detection
         f_score = average_f_score(detection, ppm.partition)
         escape = mixing_parameter(n, num_blocks, p, q)
         print(f"{label:>10}  {p / q:>8.1f}  {escape:>17.4f}  {f_score:>8.3f}")

@@ -1,10 +1,23 @@
-"""Setuptools shim.
+"""Setuptools packaging for the ``repro`` reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that the
-package can be installed editable on environments whose pip/setuptools are too
-old for PEP 660 editable wheels (``pip install -e . --no-use-pep517``).
+Installing the package (``pip install -e .``) also installs the ``repro``
+console script, which exposes the unified detection facade
+(``repro detect --backend ...``) and every figure/experiment command of
+:mod:`repro.cli`.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-cdrw",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Efficient Distributed Community Detection in the "
+        "Stochastic Block Model' (Fathi, Molla, Pandurangan; ICDCS 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -8,22 +8,37 @@ distributed computing models, the baselines discussed by the paper's related
 work, and the experiment harness that regenerates every figure of the
 evaluation section.
 
+Every executor — the scalar pool loop, the batched multi-seed path, the
+parallel shared-walk variant, the CONGEST and k-machine simulations, and the
+baselines — is a *backend* behind the unified :func:`detect` facade
+(:mod:`repro.api`), which returns a structured, JSON-serializable
+:class:`RunReport`.
+
 Quickstart
 ----------
->>> from repro import planted_partition_graph, detect_communities, average_f_score
+>>> from repro import RunConfig, detect, planted_partition_graph, average_f_score
 >>> from repro.graphs import ppm_expected_conductance
 >>> ppm = planted_partition_graph(n=512, num_blocks=2, p=0.08, q=0.002, seed=7)
->>> detection = detect_communities(
+>>> report = detect(
 ...     ppm.graph,
+...     backend="batched",
 ...     delta_hint=ppm_expected_conductance(512, 2, 0.08, 0.002),
-...     seed=7,
+...     config=RunConfig(seed=7),
 ... )
->>> average_f_score(detection, ppm.partition) > 0.9
+>>> average_f_score(report.detection, ppm.partition) > 0.9
 True
+>>> sorted(report.timings) == ["total_seconds"]
+True
+
+Any registered backend slots into the same call — ``backend="congest"``
+additionally returns the measured round/message costs in
+``report.phase_costs`` — and ``repro detect --backend batched`` exposes the
+same facade on the command line.
 """
 
 from .exceptions import (
     AlgorithmError,
+    BackendError,
     BandwidthExceededError,
     ConvergenceError,
     ExperimentError,
@@ -53,9 +68,19 @@ from .core import (
     detect_communities_parallel,
     detect_community,
 )
+from .api import (
+    Backend,
+    RunConfig,
+    RunReport,
+    available_backends,
+    detect,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from .metrics import average_f_score, score_detection
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -73,6 +98,7 @@ __all__ = [
     "MachineError",
     "MetricError",
     "ExperimentError",
+    "BackendError",
     # graphs
     "Graph",
     "Partition",
@@ -80,6 +106,15 @@ __all__ = [
     "gnp_random_graph",
     "planted_partition_graph",
     "stochastic_block_model_graph",
+    # unified detection engine
+    "Backend",
+    "RunConfig",
+    "RunReport",
+    "available_backends",
+    "detect",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     # core algorithm
     "CDRWParameters",
     "CommunityResult",

@@ -2,6 +2,12 @@
 
 Examples
 --------
+Run community detection through the unified facade on a generated PPM graph::
+
+    repro detect --backend batched --n 1024 --blocks 2
+    repro detect --list-backends
+    repro detect --backend congest --n 256 --max-seeds 1 --json
+
 Reproduce Figure 3 with two trials per cell::
 
     python -m repro figure3 --trials 2
@@ -14,9 +20,12 @@ Measure the k-machine scaling on a 1024-vertex PPM graph::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
+from .api import RunConfig, available_backends, detect, get_backend
+from .exceptions import BackendError
 from .experiments import (
     batched_detection_scaling,
     compare_baselines,
@@ -45,6 +54,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed (default 0)")
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    detect_parser = subparsers.add_parser(
+        "detect",
+        help="run community detection on a generated PPM through the repro.api facade",
+    )
+    detect_parser.add_argument(
+        "--backend",
+        default="batched",
+        help="registered backend name (see --list-backends; default: batched)",
+    )
+    detect_parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the registered backends and exit",
+    )
+    detect_parser.add_argument("--n", type=int, default=1024, help="PPM vertices")
+    detect_parser.add_argument("--blocks", type=int, default=2, help="PPM blocks r")
+    detect_parser.add_argument("--batch-size", type=int, default=8)
+    detect_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="threads for the batched kernels (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
+    detect_parser.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="mixing-set scan precision of the batched backend",
+    )
+    detect_parser.add_argument(
+        "--num-communities",
+        type=int,
+        default=None,
+        help="community-count estimate r (parallel / spectral / walktrap backends; "
+        "defaults to --blocks)",
+    )
+    detect_parser.add_argument(
+        "--machines", type=int, default=4, help="machine count of the kmachine backend"
+    )
+    detect_parser.add_argument(
+        "--max-seeds", type=int, default=None, help="cap on the number of seeds processed"
+    )
+    detect_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full RunReport as JSON instead of the summary",
+    )
 
     figure1 = subparsers.add_parser("figure1", help="structure of the Figure 1 PPM instance")
     figure1.add_argument("--n", type=int, default=1000)
@@ -106,10 +163,74 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_detect(arguments: argparse.Namespace) -> int:
+    """Execute the ``repro detect`` subcommand."""
+    from .graphs import planted_partition_graph, ppm_expected_conductance
+    from .metrics import average_f_score
+
+    if arguments.list_backends:
+        print(f"{'backend':<28} description")
+        for name in available_backends():
+            print(f"{name:<28} {get_backend(name).description}")
+        return 0
+
+    n, blocks = arguments.n, arguments.blocks
+    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+    q = 0.6 / n
+    ppm = planted_partition_graph(n, blocks, p, q, seed=arguments.seed)
+    delta = ppm_expected_conductance(n, blocks, p, q)
+    config = RunConfig(
+        seed=arguments.seed,
+        max_seeds=arguments.max_seeds,
+        batch_size=arguments.batch_size,
+        workers=arguments.workers,
+        dtype=arguments.dtype,
+        num_communities=(
+            arguments.num_communities
+            if arguments.num_communities is not None
+            else blocks
+        ),
+        num_machines=arguments.machines,
+    )
+    try:
+        report = detect(
+            ppm.graph, backend=arguments.backend, config=config, delta_hint=delta
+        )
+    except BackendError as error:
+        print(f"repro detect: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.json:
+        print(report.to_json(indent=2))
+        return 0
+
+    detection = report.detection
+    print(f"detect: backend={report.backend}")
+    print(f"  graph: PPM n={n}, r={blocks}, m={ppm.graph.num_edges} (p={p:.4f}, q={q:.6f})")
+    print(
+        f"  result: {detection.num_communities} communities, "
+        f"coverage {detection.coverage():.1%}, "
+        f"f_score {average_f_score(detection, ppm.partition):.3f}"
+    )
+    print(f"  wall clock: {report.timings['total_seconds']:.3f} s")
+    total = report.total_cost
+    if total is not None:
+        parts = [f"rounds={total.rounds}"]
+        if hasattr(total, "messages"):
+            parts.append(f"messages={total.messages}")
+        if hasattr(total, "inter_machine_messages"):
+            parts.append(f"inter_machine_messages={total.inter_machine_messages}")
+        print(f"  cost ({len(report.phase_costs)} phases): {', '.join(parts)}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` command; returns a process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+
+    if arguments.command == "detect":
+        return _run_detect(arguments)
 
     if arguments.command == "figure1":
         table = figure1_stats(n=arguments.n, num_blocks=arguments.blocks, seed=arguments.seed)

@@ -33,7 +33,7 @@ from ..core.stopping import GrowthStoppingRule
 from ..exceptions import SimulationError
 from ..graphs.graph import Graph
 from ..randomwalk.distribution import WalkDistribution
-from ..utils import as_rng, geometric_sizes, linear_sizes
+from ..utils import geometric_sizes, linear_sizes, seed_pool_schedule
 from .aggregation import convergecast, select_k_smallest, tree_edge_count
 from .bfs import distributed_bfs, distributed_bfs_counted
 from .network import CongestNetwork, CostReport
@@ -222,18 +222,44 @@ def detect_communities_congest(
     The loop structure matches :func:`repro.core.cdrw.detect_communities`;
     each seed's detection is charged to a shared network so the total cost
     corresponds to Theorem 6 (all ``r`` communities detected one by one).
+    This is a thin shim over the ``"congest"`` backend of :mod:`repro.api`;
+    communities and cost reports are identical to the pre-registry
+    implementation.
+    """
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="congest",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(seed=seed, max_seeds=max_seeds, count_only=count_only),
+    )
+    return report.native_result
+
+
+def _detect_communities_congest_impl(
+    graph: Graph,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    max_seeds: int | None = None,
+    count_only: bool = True,
+    seeds: tuple[int, ...] | None = None,
+) -> CongestDetectionResult:
+    """The CONGEST pool loop the ``"congest"`` backend executes.
+
+    ``seeds`` (facade-only) skips the pool drawing and detects the listed
+    seed vertices in order on one shared network.
     """
     parameters = parameters or CDRWParameters()
-    rng = as_rng(seed)
     network = CongestNetwork(graph)
 
-    pool = set(range(graph.num_vertices))
     per_community: list[CongestCommunityResult] = []
     results: list[CommunityResult] = []
-    while pool:
-        if max_seeds is not None and len(results) >= max_seeds:
-            break
-        seed_vertex = int(rng.choice(sorted(pool)))
+    for seed_vertex, pool in seed_pool_schedule(
+        graph.num_vertices, seed, max_seeds, seeds, results
+    ):
         outcome = detect_community_congest(
             graph,
             seed_vertex,
@@ -244,8 +270,9 @@ def detect_communities_congest(
         )
         per_community.append(outcome)
         results.append(outcome.community)
-        pool.difference_update(outcome.community.community)
-        pool.discard(seed_vertex)
+        if pool is not None:
+            pool.difference_update(outcome.community.community)
+            pool.discard(seed_vertex)
 
     detection = DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
     return CongestDetectionResult(

@@ -33,6 +33,11 @@ modes:
   (necessarily) not their still-unknown communities; with ``batch_size=1``
   the RNG draw sequence and the output are identical to the sequential
   :func:`~repro.core.cdrw.detect_communities`.
+
+Both public functions are thin shims over the ``"batched"`` backend of the
+unified detection engine (:mod:`repro.api`); the implementations live in the
+module-private ``_impl`` functions the registry calls, with outputs
+identical to the pre-registry behaviour.
 """
 
 from __future__ import annotations
@@ -81,6 +86,52 @@ def detect_community_batch(
     all cores).  Both kernels are bit-identical per column/lane for every
     value, so the detected communities never depend on it.
     """
+    if capture_distributions:
+        # The distribution matrix is an internal artefact of the shared
+        # batch (used by the parallel driver's conflict resolution); it is
+        # not part of the unified RunReport surface, so this path calls the
+        # implementation directly.
+        return _detect_community_batch_impl(
+            graph,
+            seeds,
+            parameters,
+            delta_hint,
+            capture_distributions=True,
+            workers=workers,
+        )
+    seed_tuple = tuple(int(s) for s in seeds)
+    if not seed_tuple:
+        return []
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="batched",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(
+            seeds=seed_tuple, batch_size=len(seed_tuple), workers=workers
+        ),
+    )
+    return list(report.detection.communities)
+
+
+def _detect_community_batch_impl(
+    graph: Graph,
+    seeds: list[int] | tuple[int, ...] | np.ndarray,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    *,
+    capture_distributions: bool = False,
+    workers: int | None = None,
+    dtype: np.dtype = np.float64,
+) -> list[CommunityResult] | tuple[list[CommunityResult], np.ndarray]:
+    """The batched multi-seed detection the ``"batched"`` backend executes.
+
+    ``dtype`` selects the mixing-set scan precision
+    (:class:`~repro.core.mixing_set.BatchedMixingSetSearch`); only the
+    default ``float64`` carries the exactness guarantee.
+    """
     seed_list = [int(s) for s in seeds]
     if not seed_list:
         if capture_distributions:
@@ -116,7 +167,7 @@ def detect_community_batch(
     # The search is stateless across walk lengths, so one instance serves the
     # whole batch; the stopping rule is stateful and stays per-seed.
     search = BatchedMixingSetSearch.from_parameters(
-        graph, parameters, initial_size, workers=workers
+        graph, parameters, initial_size, workers=workers, dtype=dtype
     )
     stoppings = [GrowthStoppingRule(delta=delta) for _ in seed_list]
     walk = BatchedWalkDistribution(
@@ -228,6 +279,36 @@ def detect_communities_batched(
     sequential loop's; each individual result is still exactly what the
     sequential algorithm would report for that seed.
     """
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="batched",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(
+            seed=seed,
+            max_seeds=max_seeds,
+            batch_size=batch_size,
+            seeds=None if seeds is None else tuple(int(s) for s in seeds),
+            workers=workers,
+        ),
+    )
+    return report.detection
+
+
+def _detect_communities_batched_impl(
+    graph: Graph,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    max_seeds: int | None = None,
+    batch_size: int = 8,
+    seeds: list[int] | tuple[int, ...] | np.ndarray | None = None,
+    workers: int | None = None,
+    dtype: np.dtype = np.float64,
+) -> DetectionResult:
+    """The batched pool loop the ``"batched"`` backend executes."""
     if batch_size < 1:
         raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
     parameters = parameters or CDRWParameters()
@@ -239,12 +320,13 @@ def detect_communities_batched(
         results: list[CommunityResult] = []
         for start in range(0, len(seed_list), batch_size):
             results.extend(
-                detect_community_batch(
+                _detect_community_batch_impl(
                     graph,
                     seed_list[start:start + batch_size],
                     parameters,
                     delta_hint,
                     workers=workers,
+                    dtype=dtype,
                 )
             )
         return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
@@ -270,8 +352,8 @@ def detect_communities_batched(
             remaining -= 1
         if not round_seeds:
             break
-        for result in detect_community_batch(
-            graph, round_seeds, parameters, delta_hint, workers=workers
+        for result in _detect_community_batch_impl(
+            graph, round_seeds, parameters, delta_hint, workers=workers, dtype=dtype
         ):
             results.append(result)
             remaining -= _remove_detected(pool, result)

@@ -19,6 +19,12 @@ equivalence on small graphs is covered by integration tests.
 For many seeds at once, :mod:`repro.core.batched` runs several detections on
 one shared batched walk (one sparse matrix–matrix product per step) and
 produces results identical to the entry points here.
+
+Both public functions are thin shims over the ``"scalar"`` backend of the
+unified detection engine (:mod:`repro.api`); the implementations live in the
+module-private ``_impl`` functions the registry calls.  The shims' outputs
+are identical to the pre-registry behaviour — same RNG draw sequence, same
+communities (asserted by ``tests/test_api.py``).
 """
 
 from __future__ import annotations
@@ -45,6 +51,10 @@ def detect_community(
 ) -> CommunityResult:
     """Detect the community containing ``seed_vertex``.
 
+    Routes through the ``"scalar"`` backend of :mod:`repro.api` with an
+    explicit one-seed list; the output is identical to the pre-registry
+    implementation.
+
     Parameters
     ----------
     graph:
@@ -64,6 +74,25 @@ def detect_community(
     CommunityResult
         The detected community together with the per-step trace.
     """
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="scalar",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(seeds=(seed_vertex,)),
+    )
+    return report.detection.communities[0]
+
+
+def _detect_community_impl(
+    graph: Graph,
+    seed_vertex: int,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+) -> CommunityResult:
+    """The single-seed detection the ``"scalar"`` backend executes."""
     if seed_vertex not in graph:
         raise AlgorithmError(f"seed vertex {seed_vertex} is not a vertex of {graph!r}")
     if graph.num_edges == 0:
@@ -146,6 +175,10 @@ def detect_communities(
 ) -> DetectionResult:
     """Detect all communities of ``graph`` with the pool loop of Algorithm 1.
 
+    Routes through the ``"scalar"`` backend of :mod:`repro.api`; the RNG
+    draw sequence and every detected community are identical to the
+    pre-registry implementation.
+
     Parameters
     ----------
     seed:
@@ -163,6 +196,26 @@ def detect_communities(
         may overlap (each detection sees the whole graph); only the seed pool
         shrinks, exactly as in Algorithm 1.
     """
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="scalar",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(seed=seed, max_seeds=max_seeds),
+    )
+    return report.detection
+
+
+def _detect_communities_impl(
+    graph: Graph,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    max_seeds: int | None = None,
+) -> DetectionResult:
+    """The pool loop the ``"scalar"`` backend executes."""
     parameters = parameters or CDRWParameters()
     rng = as_rng(seed)
 
@@ -179,7 +232,7 @@ def detect_communities(
         if max_seeds is not None and len(results) >= max_seeds:
             break
         seed_vertex = int(rng.choice(np.flatnonzero(pool)))
-        result = detect_community(graph, seed_vertex, parameters, delta_hint=delta_hint)
+        result = _detect_community_impl(graph, seed_vertex, parameters, delta_hint=delta_hint)
         results.append(result)
         remaining -= _remove_detected(pool, result)
     return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))

@@ -34,7 +34,7 @@ from ..exceptions import AlgorithmError
 from ..graphs.graph import Graph
 from ..graphs.traversal import bfs_tree
 from ..utils import as_rng
-from .batched import detect_community_batch
+from .batched import _detect_community_batch_impl
 from .parameters import CDRWParameters
 from .result import CommunityResult, DetectionResult
 
@@ -60,6 +60,14 @@ def select_spread_seeds(
     compatibility but no longer affects the outcome: every draw is
     productive, so capping the draw phase merely handed the identical
     remaining draws to what used to be the fallback loop.
+
+    At ``min_distance=0`` no draw blocks any other vertex, so the whole
+    selection collapses to a single uniform draw without replacement —
+    one ``rng.choice`` call instead of ``count`` full rescans of the
+    availability mask (the former path was O(count·n)).  The RNG draw
+    sequence of this case differs from the old one-at-a-time loop; the
+    pinned expectations in ``tests/test_parallel_detection.py`` were
+    refreshed with it deliberately.
     """
     if count < 1:
         raise AlgorithmError(f"seed count must be >= 1, got {count}")
@@ -68,6 +76,9 @@ def select_spread_seeds(
             f"cannot pick {count} distinct seeds from {graph.num_vertices} vertices"
         )
     rng = as_rng(seed)
+    if min_distance <= 0:
+        picks = rng.choice(graph.num_vertices, size=count, replace=False)
+        return [int(v) for v in picks]
 
     chosen: list[int] = []
     available = np.ones(graph.num_vertices, dtype=bool)
@@ -77,10 +88,10 @@ def select_spread_seeds(
             break
         candidate = int(rng.choice(candidates))
         chosen.append(candidate)
-        if min_distance > 0:
-            nearby = bfs_tree(graph, candidate, max_depth=min_distance - 1)
-            available[nearby.reached()] = False
-        available[candidate] = False
+        # The depth-(min_distance-1) ball includes the candidate itself
+        # (depth 0), so this blocks the pick and its too-close neighbours.
+        nearby = bfs_tree(graph, candidate, max_depth=min_distance - 1)
+        available[nearby.reached()] = False
     if len(chosen) < count:
         # Only now relax the constraint: no valid spread seed remains.
         chosen_set = set(chosen)
@@ -126,6 +137,35 @@ def detect_communities_parallel(
         :func:`~repro.core.batched.detect_community_batch`); the detected
         communities are identical for every value.
     """
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="parallel",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(
+            seed=seed,
+            num_communities=num_communities,
+            overlap_merge_threshold=overlap_merge_threshold,
+            seed_min_distance=seed_min_distance,
+            workers=workers,
+        ),
+    )
+    return report.detection
+
+
+def _detect_communities_parallel_impl(
+    graph: Graph,
+    num_communities: int,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    overlap_merge_threshold: float = 0.5,
+    seed_min_distance: int = 2,
+    workers: int | None = None,
+) -> DetectionResult:
+    """The spread-seed shared-walk detection the ``"parallel"`` backend executes."""
     if num_communities < 1:
         raise AlgorithmError(f"num_communities must be >= 1, got {num_communities}")
     if not (0.0 < overlap_merge_threshold <= 1.0):
@@ -138,7 +178,7 @@ def detect_communities_parallel(
     seeds = select_spread_seeds(
         graph, num_communities, min_distance=seed_min_distance, seed=rng
     )
-    raw_results, distributions = detect_community_batch(
+    raw_results, distributions = _detect_community_batch_impl(
         graph, seeds, parameters, delta_hint, capture_distributions=True, workers=workers
     )
 

@@ -56,5 +56,10 @@ class MetricError(ReproError):
     """Raised when an accuracy metric receives inconsistent inputs."""
 
 
+class BackendError(ReproError):
+    """Raised by the unified detection API (:mod:`repro.api`): unknown or
+    duplicate backend names, and invalid run configurations."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""

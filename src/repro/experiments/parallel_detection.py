@@ -15,14 +15,14 @@ from __future__ import annotations
 
 import math
 
-from ..core.cdrw import detect_community
-from ..core.parallel import detect_communities_parallel, select_spread_seeds
+from ..api import RunConfig, detect
+from ..core.parallel import select_spread_seeds
 from ..core.parameters import CDRWParameters
 from ..exceptions import ExperimentError
 from ..graphs.generators import planted_partition_graph
 from ..graphs.properties import ppm_expected_conductance
 from ..metrics.scores import average_f_score
-from .runner import ExperimentTable, run_timed
+from .runner import ExperimentTable
 
 __all__ = ["parallel_detection_scaling"]
 
@@ -75,21 +75,28 @@ def parallel_detection_scaling(
         spread = select_spread_seeds(
             graph, count, min_distance=seed_min_distance, seed=seed
         )
-        _, scalar_seconds = run_timed(
-            lambda: [
-                detect_community(graph, s, parameters, delta_hint=delta) for s in spread
-            ]
-        )
-        detection, parallel_seconds = run_timed(
-            detect_communities_parallel,
+        scalar_report = detect(
             graph,
-            count,
-            parameters,
+            backend="scalar",
+            params=parameters,
             delta_hint=delta,
-            seed=seed,
-            seed_min_distance=seed_min_distance,
-            workers=workers,
+            config=RunConfig(seeds=tuple(spread)),
         )
+        scalar_seconds = scalar_report.timings["total_seconds"]
+        parallel_report = detect(
+            graph,
+            backend="parallel",
+            params=parameters,
+            delta_hint=delta,
+            config=RunConfig(
+                seed=seed,
+                num_communities=count,
+                seed_min_distance=seed_min_distance,
+                workers=workers,
+            ),
+        )
+        detection = parallel_report.detection
+        parallel_seconds = parallel_report.timings["total_seconds"]
         communities = detection.detected_sets()
         disjoint = all(
             not (communities[i] & communities[j])

@@ -34,7 +34,7 @@ from ..exceptions import MachineError
 from ..graphs.graph import Graph
 from ..graphs.traversal import bfs_tree
 from ..randomwalk.distribution import WalkDistribution
-from ..utils import as_rng, ceil_log2
+from ..utils import ceil_log2, seed_pool_schedule
 from .partition import RandomVertexPartition
 from .simulator import KMachineCost, KMachineNetwork
 
@@ -233,21 +233,55 @@ def detect_communities_kmachine(
     partition_seed: int | None = None,
     max_seeds: int | None = None,
 ) -> KMachineDetectionResult:
-    """Detect all communities on ``num_machines`` machines (pool loop of Algorithm 1)."""
+    """Detect all communities on ``num_machines`` machines (pool loop of Algorithm 1).
+
+    This is a thin shim over the ``"kmachine"`` backend of :mod:`repro.api`;
+    communities and cost reports are identical to the pre-registry
+    implementation.
+    """
+    from ..api import RunConfig, detect
+
+    report = detect(
+        graph,
+        backend="kmachine",
+        params=parameters,
+        delta_hint=delta_hint,
+        config=RunConfig(
+            seed=seed,
+            max_seeds=max_seeds,
+            num_machines=num_machines,
+            partition_seed=partition_seed,
+        ),
+    )
+    return report.native_result
+
+
+def _detect_communities_kmachine_impl(
+    graph: Graph,
+    num_machines: int,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    partition_seed: int | None = None,
+    max_seeds: int | None = None,
+    seeds: tuple[int, ...] | None = None,
+) -> KMachineDetectionResult:
+    """The k-machine pool loop the ``"kmachine"`` backend executes.
+
+    ``seeds`` (facade-only) skips the pool drawing and detects the listed
+    seed vertices in order on one shared network.
+    """
     parameters = parameters or CDRWParameters()
-    rng = as_rng(seed)
     partition = RandomVertexPartition(
         graph.num_vertices, num_machines, method="hash", seed=partition_seed
     )
     network = KMachineNetwork(partition)
 
-    pool = set(range(graph.num_vertices))
     per_community: list[KMachineCommunityResult] = []
     results: list[CommunityResult] = []
-    while pool:
-        if max_seeds is not None and len(results) >= max_seeds:
-            break
-        seed_vertex = int(rng.choice(sorted(pool)))
+    for seed_vertex, pool in seed_pool_schedule(
+        graph.num_vertices, seed, max_seeds, seeds, results
+    ):
         outcome = detect_community_kmachine(
             graph,
             seed_vertex,
@@ -258,8 +292,9 @@ def detect_communities_kmachine(
         )
         per_community.append(outcome)
         results.append(outcome.community)
-        pool.difference_update(outcome.community.community)
-        pool.discard(seed_vertex)
+        if pool is not None:
+            pool.difference_update(outcome.community.community)
+            pool.discard(seed_vertex)
 
     detection = DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
     return KMachineDetectionResult(

@@ -53,6 +53,27 @@ class KMachineCost:
     local_messages: int
     congest_rounds_routed: int
 
+    def __add__(self, other: object) -> "KMachineCost":
+        # Mirrors CostReport: foreign types get NotImplemented so Python can
+        # try the reflected operation or raise a proper TypeError.
+        if not isinstance(other, KMachineCost):
+            return NotImplemented
+        return KMachineCost(
+            rounds=self.rounds + other.rounds,
+            inter_machine_messages=self.inter_machine_messages
+            + other.inter_machine_messages,
+            local_messages=self.local_messages + other.local_messages,
+            congest_rounds_routed=self.congest_rounds_routed
+            + other.congest_rounds_routed,
+        )
+
+    def __radd__(self, other: object) -> "KMachineCost":
+        # ``sum(costs)`` starts from the int 0; absorb exactly that identity
+        # so per-phase reports aggregate with plain ``sum``.
+        if isinstance(other, int) and not isinstance(other, bool) and other == 0:
+            return self
+        return NotImplemented
+
 
 class KMachineNetwork:
     """Accounting simulator for running CONGEST algorithms on k machines."""

@@ -31,6 +31,24 @@ column slice and every output column depends only on its own input column,
 so the per-column accumulation order — and therefore every float — is
 unchanged: any ``workers`` value is bit-identical to the serial path
 (asserted by ``tests/test_execution.py``).
+
+Per-block storage
+-----------------
+The distributions are stored as a list of per-worker-block **C-contiguous**
+``(n, width_b)`` buffers rather than one ``(n, B)`` matrix.  A column slice
+of a C-order matrix is strided, so scipy's SpMM used to copy every block on
+entry (``other.ravel()`` materialises strided input), and the fresh SpMM
+output then had to be copied *back* into a strided slice of the result
+matrix — two full-matrix copies per threaded step.  With per-block buffers
+each thread's SpMM input is already contiguous (``ravel`` is a view) and its
+output becomes the next block buffer directly; the only remaining copy is
+the lazy ``(n, B)`` assembly — cached per step — when :meth:`probabilities`
+is called, so consumers that read the matrix every step (the batched
+detection driver) still save one full-matrix copy per step net.  With one
+worker there is exactly one block, so the
+serial path is the same zero-copy single-matrix layout as before.  The block
+partition never changes any per-column float (each column's SpMM is
+independent), so the bit-identity guarantee above is unaffected.
 """
 
 from __future__ import annotations
@@ -41,7 +59,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import RandomWalkError
-from ..execution import parallel_map_blocks, resolve_workers
+from ..execution import block_ranges, parallel_map_blocks, resolve_workers
 from ..graphs.graph import Graph
 from .transition import lazy_transition_matrix, reverse_transition_matrix
 
@@ -97,11 +115,22 @@ class BatchedWalkDistribution:
             self._operator: sp.csr_matrix = lazy_transition_matrix(graph).T.tocsr()
         else:
             self._operator = reverse_transition_matrix(graph)
-        self._distributions = np.zeros(
-            (graph.num_vertices, source_array.size), dtype=np.float64
-        )
-        self._distributions[source_array, np.arange(source_array.size)] = 1.0
+        self._init_blocks()
         self._steps = 0
+
+    def _init_blocks(self) -> None:
+        """(Re)build the per-block one-hot buffers for the current sources."""
+        n = self._graph.num_vertices
+        blocks: list[np.ndarray] = []
+        starts: list[int] = []
+        for start, stop in block_ranges(len(self._sources), self._workers):
+            block = np.zeros((n, stop - start), dtype=np.float64)
+            block[list(self._sources[start:stop]), np.arange(stop - start)] = 1.0
+            blocks.append(block)
+            starts.append(start)
+        self._blocks = blocks
+        self._block_starts = np.asarray(starts, dtype=np.int64)
+        self._assembled: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -136,9 +165,24 @@ class BatchedWalkDistribution:
         """The resolved thread count used by the column-blocked step."""
         return self._workers
 
+    def _locate(self, walk: int) -> tuple[int, int]:
+        """Return ``(block index, local column)`` of global column ``walk``."""
+        index = int(np.searchsorted(self._block_starts, walk, side="right")) - 1
+        return index, walk - int(self._block_starts[index])
+
+    def _materialize(self) -> np.ndarray:
+        """Return the full ``(n, B)`` matrix (a view for one block, else cached)."""
+        if len(self._blocks) == 1:
+            return self._blocks[0]
+        if self._assembled is None:
+            # Concatenation only places the per-block columns side by side;
+            # every column's floats are exactly the block SpMM's output.
+            self._assembled = np.concatenate(self._blocks, axis=1)
+        return self._assembled
+
     def probabilities(self) -> np.ndarray:
         """Return the current ``(n, B)`` distribution matrix (read-only view)."""
-        view = self._distributions.view()
+        view = self._materialize().view()
         view.flags.writeable = False
         return view
 
@@ -148,7 +192,8 @@ class BatchedWalkDistribution:
             raise RandomWalkError(
                 f"walk index {walk} out of range for a batch of {len(self._sources)}"
             )
-        vector = np.ascontiguousarray(self._distributions[:, walk])
+        block, local = self._locate(walk)
+        vector = np.ascontiguousarray(self._blocks[block][:, local])
         vector.flags.writeable = False
         return vector
 
@@ -156,7 +201,7 @@ class BatchedWalkDistribution:
         """Return a contiguous ``(n, k)`` read-only copy of the selected walk columns.
 
         Column ``i`` of the result equals :meth:`column` of ``walks[i]``
-        (bit-identical — fancy column indexing copies contiguously).  Drivers
+        (bit-identical — the gather copies each column unchanged).  Drivers
         use this to snapshot several final distributions in one call, e.g.
         when the walk-length budget expires for the surviving columns of a
         batched detection.
@@ -166,7 +211,10 @@ class BatchedWalkDistribution:
             raise RandomWalkError(
                 f"walk indices {walks!r} out of range for a batch of {len(self._sources)}"
             )
-        matrix = np.ascontiguousarray(self._distributions[:, indices])
+        matrix = np.empty((self._graph.num_vertices, indices.size), dtype=np.float64)
+        for position, walk in enumerate(indices):
+            block, local = self._locate(int(walk))
+            matrix[:, position] = self._blocks[block][:, local]
         matrix.flags.writeable = False
         return matrix
 
@@ -176,33 +224,38 @@ class BatchedWalkDistribution:
     def step(self, count: int = 1) -> np.ndarray:
         """Advance all walks by ``count`` steps and return the distribution matrix.
 
-        With ``workers > 1`` each step advances contiguous column blocks on
-        separate threads; per-column results are bit-identical to the serial
-        SpMM (see the module docstring).
+        With ``workers > 1`` each step advances the per-block contiguous
+        buffers on separate threads; per-column results are bit-identical to
+        the serial SpMM (see the module docstring).
         """
         if count < 0:
             raise RandomWalkError(f"cannot step a negative number of times: {count}")
         for _ in range(count):
-            self._distributions = self._advance(self._distributions)
+            self._advance()
             self._steps += 1
         return self.probabilities()
 
-    def _advance(self, matrix: np.ndarray) -> np.ndarray:
-        """Return ``operator @ matrix``, column-blocked across the worker pool."""
-        width = matrix.shape[1]
-        if self._workers <= 1 or width < 2:
-            return self._operator @ matrix
-        result = np.empty_like(matrix)
+    def _advance(self) -> None:
+        """Replace every block with ``operator @ block``, one thread per block."""
+        blocks = self._blocks
+        if len(blocks) == 1:
+            self._blocks = [self._operator @ blocks[0]]
+        else:
+            advanced: list[np.ndarray | None] = [None] * len(blocks)
 
-        def advance_block(start: int, stop: int) -> None:
-            # Each block is an independent SpMM on a column slice writing a
-            # disjoint output slice; scipy accumulates every output column in
-            # CSR nonzero order regardless of which other columns share the
-            # call, so the block partition never changes a single float.
-            result[:, start:stop] = self._operator @ matrix[:, start:stop]
+            def advance_range(start: int, stop: int) -> None:
+                # Each block is an independent SpMM on a C-contiguous buffer
+                # (scipy's ravel is a view — no strided-entry copy) writing a
+                # fresh output buffer; scipy accumulates every output column
+                # in CSR nonzero order regardless of which other columns
+                # share the call, so the block partition never changes a
+                # single float.
+                for index in range(start, stop):
+                    advanced[index] = self._operator @ blocks[index]
 
-        parallel_map_blocks(advance_block, width, self._workers)
-        return result
+            parallel_map_blocks(advance_range, len(blocks), self._workers)
+            self._blocks = advanced
+        self._assembled = None
 
     def run_to(self, length: int) -> np.ndarray:
         """Advance all walks until their length equals ``length`` (no rewinding)."""
@@ -214,8 +267,7 @@ class BatchedWalkDistribution:
 
     def restart(self) -> None:
         """Reset every walk to length 0 (all mass at its seed)."""
-        self._distributions = np.zeros_like(self._distributions)
-        self._distributions[list(self._sources), np.arange(len(self._sources))] = 1.0
+        self._init_blocks()
         self._steps = 0
 
     # ------------------------------------------------------------------
@@ -226,7 +278,8 @@ class BatchedWalkDistribution:
 
         Drivers use this to drop walks whose detection already stopped, so
         later steps spend no flops on finished columns.  The step counter is
-        shared by all columns and is unchanged.
+        shared by all columns and is unchanged; the surviving columns are
+        repartitioned into fresh contiguous block buffers.
         """
         kept = np.asarray([int(w) for w in walks], dtype=np.int64)
         if kept.size == 0:
@@ -235,7 +288,20 @@ class BatchedWalkDistribution:
             raise RandomWalkError(
                 f"walk indices {walks!r} out of range for a batch of {len(self._sources)}"
             )
-        self._distributions = np.ascontiguousarray(self._distributions[:, kept])
+        n = self._graph.num_vertices
+        old_blocks = self._blocks
+        locations = [self._locate(int(w)) for w in kept]
+        blocks: list[np.ndarray] = []
+        starts: list[int] = []
+        for start, stop in block_ranges(kept.size, self._workers):
+            block = np.empty((n, stop - start), dtype=np.float64)
+            for offset, (old_block, local) in enumerate(locations[start:stop]):
+                block[:, offset] = old_blocks[old_block][:, local]
+            blocks.append(block)
+            starts.append(start)
+        self._blocks = blocks
+        self._block_starts = np.asarray(starts, dtype=np.int64)
+        self._assembled = None
         self._sources = tuple(self._sources[int(w)] for w in kept)
 
     # ------------------------------------------------------------------
@@ -249,7 +315,7 @@ class BatchedWalkDistribution:
         block the pairwise summation differently and drift in the last ulp).
         """
         indices = np.asarray(list(subset), dtype=np.int64)
-        gathered = self._distributions[indices, :]
+        gathered = self._materialize()[indices, :]
         return np.array(
             [float(np.ascontiguousarray(gathered[:, j]).sum()) for j in range(gathered.shape[1])]
         )

@@ -153,6 +153,40 @@ class TestThreadedWalkInvariance:
         serial.step(2)
         assert np.array_equal(walk.probabilities(), serial.probabilities())
 
+    def test_per_block_buffers_are_contiguous(self, ppm):
+        """The threaded step must see C-contiguous SpMM inputs.
+
+        The distributions are stored as per-worker-block buffers precisely so
+        scipy's SpMM gets contiguous input (its ``ravel`` is then a view, not
+        a strided-entry copy).  One worker keeps the single-matrix layout.
+        """
+        threaded = BatchedWalkDistribution(ppm.graph, list(range(10)), workers=3)
+        serial = BatchedWalkDistribution(ppm.graph, list(range(10)), workers=1)
+        assert len(threaded._blocks) == 3
+        assert len(serial._blocks) == 1
+        threaded.step(4)
+        serial.step(4)
+        for block in threaded._blocks:
+            assert block.flags["C_CONTIGUOUS"]
+        assert np.array_equal(threaded.probabilities(), serial.probabilities())
+        threaded.retain([1, 4, 7, 9])
+        for block in threaded._blocks:
+            assert block.flags["C_CONTIGUOUS"]
+
+    def test_columns_and_mass_match_across_layouts(self, ppm):
+        threaded = BatchedWalkDistribution(ppm.graph, [3, 7, 11, 13, 17], workers=4)
+        serial = BatchedWalkDistribution(ppm.graph, [3, 7, 11, 13, 17], workers=1)
+        threaded.step(5)
+        serial.step(5)
+        subset = [0, 50, 100, 150]
+        assert np.array_equal(
+            threaded.columns([0, 2, 4]), serial.columns([0, 2, 4])
+        )
+        assert np.array_equal(threaded.mass_in(subset), serial.mass_in(subset))
+        threaded.restart()
+        serial.restart()
+        assert np.array_equal(threaded.probabilities(), serial.probabilities())
+
 
 class TestVectorizedSourceValidation:
     def test_empty_sources_message_unchanged(self, ppm):

@@ -205,3 +205,35 @@ class TestReportingAndCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "parallel_detection_scaling" in captured.out
+
+    def test_cli_detect_summary(self, capsys):
+        exit_code = main(["detect", "--backend", "batched", "--n", "128", "--blocks", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "backend=batched" in captured.out
+        assert "f_score" in captured.out
+
+    def test_cli_detect_json_is_a_run_report(self, capsys):
+        import json
+
+        exit_code = main(
+            ["detect", "--backend", "congest", "--n", "128", "--max-seeds", "1", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["backend"] == "congest"
+        assert payload["total_cost"]["rounds"] > 0
+
+    def test_cli_detect_list_backends(self, capsys):
+        exit_code = main(["detect", "--list-backends"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("scalar", "batched", "congest", "kmachine", "baseline:spectral"):
+            assert name in captured.out
+
+    def test_cli_detect_unknown_backend_exits_nonzero(self, capsys):
+        exit_code = main(["detect", "--backend", "bogus", "--n", "64"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "available backends" in captured.err

@@ -283,3 +283,28 @@ class TestSpreadSeedFallbackFixes:
         b = select_spread_seeds(small_ppm.graph, 5, seed=8)
         assert a == b
         assert len(set(a)) == 5
+
+
+class TestMinDistanceZeroFastPath:
+    """``min_distance=0`` collapses to one draw without replacement.
+
+    This is the deliberate RNG refresh the ROADMAP flagged: no spacing
+    constraint means no draw blocks any other vertex, so the O(count·n)
+    rescan loop is replaced by a single ``rng.choice(n, size, replace=False)``
+    whose draw sequence these tests pin down.
+    """
+
+    def test_matches_single_choice_draw(self, small_ppm):
+        n = small_ppm.graph.num_vertices
+        for seed in (0, 8, 123):
+            seeds = select_spread_seeds(small_ppm.graph, 6, min_distance=0, seed=seed)
+            expected = np.random.default_rng(seed).choice(n, size=6, replace=False)
+            assert seeds == [int(v) for v in expected]
+
+    def test_distinct_and_complete(self, small_ppm):
+        seeds = select_spread_seeds(small_ppm.graph, 10, min_distance=0, seed=4)
+        assert len(seeds) == len(set(seeds)) == 10
+
+    def test_full_graph_draw_is_a_permutation(self, triangle_graph):
+        seeds = select_spread_seeds(triangle_graph, 3, min_distance=0, seed=1)
+        assert sorted(seeds) == [0, 1, 2]
