@@ -25,16 +25,22 @@ Measures, on a 1M-edge random graph:
 * **worker scaling** — the 64-seed steady-state step and the B=64 batched
   mixing-set search at ``workers ∈ {1, 2, 4}`` threads (the multi-core
   execution layer of :mod:`repro.execution`; results are bit-identical at
-  every worker count, only the wall clock moves).
+  every worker count, only the wall clock moves);
+* **process executor** — a 32-seed batched detection through the facade on
+  the serial in-process path against the shared-memory process tier
+  (:mod:`repro.execution_process`) at ``workers ∈ {1, 2, 4}`` processes;
+  detections are identical on every row, only the wall clock moves.
 
 Run directly (``python benchmarks/bench_graph_kernel.py``) for the table, or
 through pytest (``pytest benchmarks/bench_graph_kernel.py``) to enforce the
 acceptance thresholds: construction and the 64-seed walk advance must be at
 least 10× faster than the seed scalar path, the 64-column batched
-mixing-set search must beat the per-column loop, and — on machines with at
-least two cores — the threaded step and threaded search must each beat
-their ``workers=1`` timing by ≥ 1.3× (skipped on single-core runners, where
-the equivalence tests still gate the threaded paths).
+mixing-set search must beat the per-column loop, on machines with at least
+two cores the threaded step and threaded search must each beat their
+``workers=1`` timing by ≥ 1.3×, and on machines with at least four cores
+the process tier must beat the serial facade by ≥ 1.5× (both scaling guards
+are skipped on smaller hosts, where the equivalence tests still gate the
+parallel paths).
 """
 
 from __future__ import annotations
@@ -76,6 +82,16 @@ PARALLEL_BLOCKS = 8
 BATCH_WIDTHS = (1, 8, 64)
 WORKER_COUNTS = (1, 2, 4)
 THREADED_REQUIRED_SPEEDUP = 1.3
+
+# The process tier pays pool start-up and result pickling, so it is measured
+# on a full multi-seed detection (where the per-seed work dwarfs both) and
+# its speedup guard applies on hosts with >= 4 cores.
+PROCESS_VERTICES = 4_096
+PROCESS_BLOCKS = 8
+PROCESS_SEEDS = 32
+PROCESS_WORKER_COUNTS = (1, 2, 4)
+PROCESS_REQUIRED_SPEEDUP = 1.5
+PROCESS_REQUIRED_CORES = 4
 
 
 def _best_of(function, repeats: int = 3) -> float:
@@ -246,6 +262,42 @@ def run_benchmark() -> dict[str, float]:
         results[f"parallel{width}_speedup"] = (
             results[f"parallel{width}_scalar_s"] / results[f"parallel{width}_batched_s"]
         )
+
+    # -- process executor (shared-memory worker pool) -------------------
+    n = PROCESS_VERTICES
+    p = min(1.0, 2.0 * np.log(n) ** 2 / n)
+    q = 1.0 / n
+    process_ppm = planted_partition_graph(n, PROCESS_BLOCKS, p, q, seed=7)
+    process_delta = ppm_expected_conductance(n, PROCESS_BLOCKS, p, q)
+    process_seeds = tuple(
+        int(v)
+        for v in np.random.default_rng(8).choice(n, size=PROCESS_SEEDS, replace=False)
+    )
+
+    def detect_with(executor: str, workers: int):
+        return detect(
+            process_ppm.graph,
+            backend="batched",
+            delta_hint=process_delta,
+            config=RunConfig(seeds=process_seeds, workers=workers, executor=executor),
+        )
+
+    start = time.perf_counter()
+    baseline_report = detect_with("thread", 1)
+    results["process_serial_s"] = time.perf_counter() - start
+    identical = 1.0
+    for workers in PROCESS_WORKER_COUNTS:
+        start = time.perf_counter()
+        report = detect_with("process", workers)
+        results[f"process_workers{workers}_s"] = time.perf_counter() - start
+        if report.detection != baseline_report.detection:
+            identical = 0.0
+    results["process_identical"] = identical
+    results["process_speedup"] = results["process_serial_s"] / min(
+        results[f"process_workers{workers}_s"]
+        for workers in PROCESS_WORKER_COUNTS
+        if workers > 1
+    )
     return results
 
 
@@ -293,12 +345,17 @@ def print_workers_table(results: dict[str, float]) -> None:
     for label, prefix, speedup_key in (
         ("64-seed steady step", "step_workers", "step_threads_speedup"),
         (f"mixing search B={max(BATCH_WIDTHS)}", "search_workers", "search_threads_speedup"),
+        (f"process detect {PROCESS_SEEDS} seeds", "process_workers", "process_speedup"),
     ):
         timings = "".join(f"{results[f'{prefix}{w}_s']:15.4f}" for w in WORKER_COUNTS)
         print(f"{label:26s}{timings} {results[speedup_key]:12.1f}x")
+    print(
+        f"{'(process serial baseline)':26s}{results['process_serial_s']:15.4f} "
+        f"identical={results['process_identical']:.0f}"
+    )
     cores = os.cpu_count() or 1
     print(f"(host has {cores} core{'s' if cores != 1 else ''}; "
-          f"threaded results are bit-identical to workers=1 at any count)")
+          f"threaded and process results are identical to workers=1 at any count)")
 
 
 @pytest.mark.perf
@@ -356,6 +413,24 @@ def test_threaded_search_speedup_at_least_1_3x():
     assert results["search_threads_speedup"] >= THREADED_REQUIRED_SPEEDUP, results
 
 
+@pytest.mark.perf
+def test_process_executor_detections_identical_to_serial():
+    """The process tier must reproduce the serial facade's detections exactly."""
+    results = run_benchmark()
+    assert results["process_identical"] == 1.0, results
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < PROCESS_REQUIRED_CORES,
+    reason="process-tier speedup needs >= 4 cores; the identity tests gate smaller hosts",
+)
+def test_process_executor_speedup_at_least_1_5x():
+    """Acceptance: the shared-memory process pool must scale on >= 4-core hosts."""
+    results = run_benchmark()
+    assert results["process_speedup"] >= PROCESS_REQUIRED_SPEEDUP, results
+
+
 if __name__ == "__main__":
     table = run_benchmark()
     print_table(table)
@@ -366,20 +441,30 @@ if __name__ == "__main__":
         failed.append("walk advance")
     if table["search64_speedup"] <= 1.0:
         failed.append("64-column mixing search")
+    if table["process_identical"] != 1.0:
+        failed.append("process-tier detection identity")
     multicore = (os.cpu_count() or 1) >= 2
+    manycore = (os.cpu_count() or 1) >= PROCESS_REQUIRED_CORES
     if multicore:
         if table["step_threads_speedup"] < THREADED_REQUIRED_SPEEDUP:
             failed.append("threaded steady step")
         if table["search_threads_speedup"] < THREADED_REQUIRED_SPEEDUP:
             failed.append("threaded mixing search")
+    if manycore and table["process_speedup"] < PROCESS_REQUIRED_SPEEDUP:
+        failed.append("process executor")
     if failed:
         raise SystemExit(f"speedup thresholds not met for: {', '.join(failed)}")
     print(
         f"\nacceptance: construction and 64-seed walk advance >= {REQUIRED_SPEEDUP}x, "
-        f"64-column batched search > 1x"
+        f"64-column batched search > 1x, process detections identical"
         + (
             f", threaded step/search >= {THREADED_REQUIRED_SPEEDUP}x"
             if multicore
             else " (single core: threaded thresholds not enforced)"
+        )
+        + (
+            f", process tier >= {PROCESS_REQUIRED_SPEEDUP}x"
+            if manycore
+            else f" (< {PROCESS_REQUIRED_CORES} cores: process threshold not enforced)"
         )
     )

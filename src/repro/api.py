@@ -49,6 +49,7 @@ from .baselines.spectral import spectral_clustering
 from .baselines.walktrap import walktrap_communities
 from .congest.network import CostReport
 from .core.mixing_set import LargestMixingSet
+from .execution import EXECUTOR_PROCESS, EXECUTOR_THREAD, resolve_executor
 from .core.parameters import CDRWParameters
 from .core.result import CommunityResult, DetectionResult
 from .exceptions import BackendError
@@ -97,9 +98,22 @@ class RunConfig:
         Seeds per batched pass (batched backend; ``1`` reproduces the scalar
         pool loop RNG-exactly).
     workers:
-        Thread count for the batched kernels (``None`` → the
-        ``REPRO_WORKERS`` environment override, default serial; ``0`` → all
-        cores).  Results are bit-identical for every value.
+        Worker count of the execution tier: threads for the batched kernels
+        on the ``"thread"`` executor, worker processes on the ``"process"``
+        executor (``None`` → the ``REPRO_WORKERS`` environment override,
+        default serial; ``0`` → all cores).  Results are identical for every
+        value on either tier.
+    executor:
+        Execution tier of the ``batched`` and ``parallel`` backends:
+        ``"thread"`` (in-process batched kernels, the default) or
+        ``"process"`` (seed shards on a worker-process pool sharing the CSR
+        graph through :mod:`multiprocessing.shared_memory` — see
+        :mod:`repro.execution_process`).  ``None`` defers to the
+        ``REPRO_EXECUTOR`` environment override, default ``"thread"``.
+        Everything the run *computes* — detections, cost totals, artifacts —
+        is identical across tiers; the report fields that *describe* the run
+        (``config``, wall-clock ``timings``, executor metadata) naturally
+        name the tier that produced them.
     dtype:
         Precision of the batched mixing-set scan: ``"float64"`` (exact,
         default) or ``"float32"`` (fast path, ≈-close only).
@@ -125,6 +139,11 @@ class RunConfig:
         Whether :meth:`RunReport.to_dict` includes the per-step mixing-set
         history traces (the bulk of a serialized report).  The in-memory
         :class:`~repro.core.result.DetectionResult` always carries them.
+    capture_distributions:
+        Batched backend only: store each community's final walk distribution
+        in :attr:`RunReport.artifacts` under ``"final_distributions"`` (one
+        row per detected community, aligned with ``detection.communities``).
+        Opt-in — the artefact is ``n`` floats per community.
     """
 
     seed: int | np.random.Generator | None = None
@@ -132,6 +151,7 @@ class RunConfig:
     max_seeds: int | None = None
     batch_size: int = 8
     workers: int | None = None
+    executor: str | None = None
     dtype: str = "float64"
     num_communities: int | None = None
     seed_min_distance: int = 2
@@ -140,6 +160,7 @@ class RunConfig:
     partition_seed: int | None = None
     count_only: bool = True
     capture_history: bool = True
+    capture_distributions: bool = False
 
     def __post_init__(self) -> None:
         if self.seeds is not None:
@@ -147,6 +168,14 @@ class RunConfig:
         if self.dtype not in ("float64", "float32"):
             raise BackendError(
                 f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.executor is not None and self.executor not in (
+            EXECUTOR_THREAD,
+            EXECUTOR_PROCESS,
+        ):
+            raise BackendError(
+                f"executor must be '{EXECUTOR_THREAD}' or '{EXECUTOR_PROCESS}' "
+                f"(or None for the REPRO_EXECUTOR default), got {self.executor!r}"
             )
 
     def with_overrides(self, **changes) -> "RunConfig":
@@ -193,6 +222,10 @@ class BackendOutcome:
         ``total_seconds``).
     extras:
         JSON-safe backend metadata (e.g. BFS depths, convergence flags).
+    artifacts:
+        JSON-safe opt-in payloads (e.g. the final walk distributions when
+        ``config.capture_distributions`` is set); carried into
+        :attr:`RunReport.artifacts` and serialized with the report.
     native:
         The backend's full native result object (e.g.
         ``CongestDetectionResult``), for callers that need more than the
@@ -203,6 +236,7 @@ class BackendOutcome:
     phase_costs: dict[str, CostReport | KMachineCost] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
     extras: dict[str, object] = field(default_factory=dict)
+    artifacts: dict[str, object] = field(default_factory=dict)
     native: object = None
 
 
@@ -310,6 +344,11 @@ class RunReport:
     params:
         The :class:`~repro.core.parameters.CDRWParameters` the run used
         (``None`` = paper defaults resolved inside the backend).
+    artifacts:
+        Opt-in JSON-safe payloads beyond the detection itself; currently
+        ``"final_distributions"`` (one per-vertex probability row per
+        detected community) when ``config.capture_distributions`` is set.
+        Serialized and round-tripped exactly.
     native_result:
         The backend's native result object (excluded from comparison and
         serialization; ``None`` after a JSON round trip).
@@ -322,6 +361,7 @@ class RunReport:
     metadata: dict[str, object]
     config: RunConfig
     params: CDRWParameters | None
+    artifacts: dict[str, object] = field(default_factory=dict)
     native_result: object = field(default=None, compare=False, repr=False)
 
     @property
@@ -347,6 +387,7 @@ class RunReport:
             "params": None if self.params is None else asdict(self.params),
             "timings": dict(self.timings),
             "metadata": dict(self.metadata),
+            "artifacts": dict(self.artifacts),
             "phase_costs": {
                 name: _cost_to_dict(cost) for name, cost in self.phase_costs.items()
             },
@@ -382,6 +423,7 @@ class RunReport:
             metadata=dict(data.get("metadata", {})),
             config=RunConfig.from_dict(data.get("config", {})),
             params=None if params is None else CDRWParameters(**params),
+            artifacts=dict(data.get("artifacts", {})),
         )
 
     @classmethod
@@ -529,6 +571,7 @@ def detect(
         metadata=metadata,
         config=resolved,
         params=params,
+        artifacts=dict(outcome.artifacts),
         native_result=outcome.native,
     )
 
@@ -561,15 +604,54 @@ def _scalar_runner(
     return BackendOutcome(detection=detection)
 
 
+def _distribution_rows(finals: np.ndarray) -> list[list[float]]:
+    """Serialize an ``(n, k)`` final-distribution matrix as one row per community.
+
+    ``ndarray.tolist()`` emits the exact doubles, and ``json`` round-trips
+    finite doubles exactly, so rebuilding the matrix from a (possibly
+    serialized) report reproduces it bit for bit.
+    """
+    return [finals[:, index].tolist() for index in range(finals.shape[1])]
+
+
 def _batched_runner(
     graph: Graph,
     params: CDRWParameters | None,
     config: RunConfig,
     delta_hint: float | None,
 ) -> BackendOutcome:
+    executor = resolve_executor(config.executor)
+    if executor == EXECUTOR_PROCESS:
+        from .execution_process import detect_batched_process
+
+        outcome = detect_batched_process(
+            graph,
+            params,
+            delta_hint,
+            seed=config.seed,
+            max_seeds=config.max_seeds,
+            batch_size=config.batch_size,
+            seeds=config.seeds,
+            workers=config.workers,
+            dtype=config.dtype,
+            capture_distributions=config.capture_distributions,
+        )
+        artifacts: dict[str, object] = {}
+        finals = None
+        if config.capture_distributions and outcome.final_distributions is not None:
+            finals = outcome.final_distributions
+            artifacts["final_distributions"] = _distribution_rows(finals)
+        return BackendOutcome(
+            detection=outcome.detection,
+            timings=dict(outcome.timings),
+            extras=dict(outcome.extras),
+            artifacts=artifacts,
+            native=finals,
+        )
+
     from .core.batched import _detect_communities_batched_impl
 
-    detection = _detect_communities_batched_impl(
+    result = _detect_communities_batched_impl(
         graph,
         params,
         delta_hint,
@@ -579,8 +661,24 @@ def _batched_runner(
         seeds=config.seeds,
         workers=config.workers,
         dtype=np.dtype(config.dtype),
+        capture_distributions=config.capture_distributions,
     )
-    return BackendOutcome(detection=detection)
+    artifacts = {}
+    finals = None
+    if config.capture_distributions:
+        detection, finals = result
+        artifacts["final_distributions"] = _distribution_rows(finals)
+    else:
+        detection = result
+    # The raw (n, k) matrix rides along as the (unserialized) native result
+    # so in-memory consumers — detect_community_batch — read it back without
+    # re-parsing the list artifact.
+    return BackendOutcome(
+        detection=detection,
+        extras={"executor": executor},
+        artifacts=artifacts,
+        native=finals,
+    )
 
 
 def _parallel_runner(
@@ -589,13 +687,33 @@ def _parallel_runner(
     config: RunConfig,
     delta_hint: float | None,
 ) -> BackendOutcome:
-    from .core.parallel import _detect_communities_parallel_impl
-
     if config.num_communities is None:
         raise BackendError(
             "the 'parallel' backend needs the community-count estimate r: "
             "pass config=RunConfig(num_communities=...)"
         )
+    executor = resolve_executor(config.executor)
+    if executor == EXECUTOR_PROCESS:
+        from .execution_process import detect_parallel_process
+
+        outcome = detect_parallel_process(
+            graph,
+            config.num_communities,
+            params,
+            delta_hint,
+            seed=config.seed,
+            overlap_merge_threshold=config.overlap_merge_threshold,
+            seed_min_distance=config.seed_min_distance,
+            workers=config.workers,
+        )
+        return BackendOutcome(
+            detection=outcome.detection,
+            timings=dict(outcome.timings),
+            extras=dict(outcome.extras),
+        )
+
+    from .core.parallel import _detect_communities_parallel_impl
+
     detection = _detect_communities_parallel_impl(
         graph,
         config.num_communities,
@@ -606,7 +724,7 @@ def _parallel_runner(
         seed_min_distance=config.seed_min_distance,
         workers=config.workers,
     )
-    return BackendOutcome(detection=detection)
+    return BackendOutcome(detection=detection, extras={"executor": executor})
 
 
 def _congest_runner(

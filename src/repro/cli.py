@@ -30,6 +30,7 @@ from .experiments import (
     batched_detection_scaling,
     compare_baselines,
     parallel_detection_scaling,
+    process_detection_scaling,
     congest_scaling,
     figure1_stats,
     figure2_grid,
@@ -53,11 +54,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed (default 0)")
+    # --seed is also accepted *after* the subcommand (`repro detect --seed 5`):
+    # every subparser inherits this parent.  Its default is SUPPRESS so that a
+    # subcommand-side omission keeps whatever the top-level parse set —
+    # argparse parses a subcommand into a fresh namespace and copies it over
+    # the main one, so a plain default here would clobber `repro --seed 5
+    # detect` back to 0.
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="experiment seed (default 0; may be given before or after the subcommand)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     detect_parser = subparsers.add_parser(
         "detect",
         help="run community detection on a generated PPM through the repro.api facade",
+        parents=[seed_parent],
     )
     detect_parser.add_argument(
         "--backend",
@@ -76,7 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="threads for the batched kernels (default: REPRO_WORKERS or serial; 0 = all cores)",
+        help="workers of the execution tier: threads (--executor thread) or "
+        "worker processes (--executor process); default: REPRO_WORKERS or "
+        "serial; 0 = all cores",
+    )
+    detect_parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="execution tier of the batched/parallel backends (default: "
+        "REPRO_EXECUTOR or thread; process = shared-memory worker pool)",
     )
     detect_parser.add_argument(
         "--dtype",
@@ -103,37 +127,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full RunReport as JSON instead of the summary",
     )
 
-    figure1 = subparsers.add_parser("figure1", help="structure of the Figure 1 PPM instance")
+    figure1 = subparsers.add_parser(
+        "figure1", help="structure of the Figure 1 PPM instance", parents=[seed_parent]
+    )
     figure1.add_argument("--n", type=int, default=1000)
     figure1.add_argument("--blocks", type=int, default=5)
 
-    figure2 = subparsers.add_parser("figure2", help="CDRW accuracy on G(n, p)")
+    figure2 = subparsers.add_parser(
+        "figure2", help="CDRW accuracy on G(n, p)", parents=[seed_parent]
+    )
     figure2.add_argument("--trials", type=int, default=3)
     figure2.add_argument("--sizes", type=int, nargs="+", default=None)
 
-    figure3 = subparsers.add_parser("figure3", help="CDRW accuracy on 2-block PPM graphs")
+    figure3 = subparsers.add_parser(
+        "figure3", help="CDRW accuracy on 2-block PPM graphs", parents=[seed_parent]
+    )
     figure3.add_argument("--trials", type=int, default=3)
     figure3.add_argument("--n", type=int, default=2048)
 
-    figure4a = subparsers.add_parser("figure4a", help="accuracy vs r, fixed community size")
+    figure4a = subparsers.add_parser(
+        "figure4a", help="accuracy vs r, fixed community size", parents=[seed_parent]
+    )
     figure4a.add_argument("--trials", type=int, default=3)
 
-    figure4b = subparsers.add_parser("figure4b", help="accuracy vs r, fixed total size")
+    figure4b = subparsers.add_parser(
+        "figure4b", help="accuracy vs r, fixed total size", parents=[seed_parent]
+    )
     figure4b.add_argument("--trials", type=int, default=3)
 
-    congest = subparsers.add_parser("congest", help="CONGEST round/message scaling")
+    congest = subparsers.add_parser(
+        "congest", help="CONGEST round/message scaling", parents=[seed_parent]
+    )
     congest.add_argument("--sizes", type=int, nargs="+", default=None)
 
-    kmachine = subparsers.add_parser("kmachine", help="k-machine round scaling")
+    kmachine = subparsers.add_parser(
+        "kmachine", help="k-machine round scaling", parents=[seed_parent]
+    )
     kmachine.add_argument("--n", type=int, default=1024)
     kmachine.add_argument("--machines", type=int, nargs="+", default=None)
 
-    baselines = subparsers.add_parser("baselines", help="CDRW vs baseline methods")
+    baselines = subparsers.add_parser(
+        "baselines", help="CDRW vs baseline methods", parents=[seed_parent]
+    )
     baselines.add_argument("--n", type=int, default=1024)
     baselines.add_argument("--blocks", type=int, default=2)
 
     batched = subparsers.add_parser(
-        "batched", help="multi-seed detection throughput: scalar loop vs batched walks"
+        "batched",
+        help="multi-seed detection throughput: scalar loop vs batched walks",
+        parents=[seed_parent],
     )
     batched.add_argument("--n", type=int, default=1024)
     batched.add_argument("--blocks", type=int, default=4)
@@ -143,12 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="threads for the batched kernels (default: REPRO_WORKERS or serial; 0 = all cores)",
+        help="workers of the execution tier (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
+    batched.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="execution tier (default: REPRO_EXECUTOR or thread)",
     )
 
     parallel = subparsers.add_parser(
         "parallel",
         help="parallel multi-seed detection: scalar per-seed loop vs one shared batched walk",
+        parents=[seed_parent],
     )
     parallel.add_argument("--n", type=int, default=1024)
     parallel.add_argument("--blocks", type=int, default=4)
@@ -157,8 +206,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="threads for the batched kernels (default: REPRO_WORKERS or serial; 0 = all cores)",
+        help="workers of the execution tier (default: REPRO_WORKERS or serial; 0 = all cores)",
     )
+    parallel.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="execution tier (default: REPRO_EXECUTOR or thread)",
+    )
+
+    process = subparsers.add_parser(
+        "process",
+        help="process-pool detection scaling: serial batched path vs the "
+        "shared-memory process tier at several worker counts",
+        parents=[seed_parent],
+    )
+    process.add_argument("--n", type=int, default=1024)
+    process.add_argument("--blocks", type=int, default=4)
+    process.add_argument("--num-seeds", type=int, default=16)
+    process.add_argument("--batch-size", type=int, default=8)
+    process.add_argument("--worker-counts", type=int, nargs="+", default=[1, 2, 4])
 
     return parser
 
@@ -174,6 +241,15 @@ def _run_detect(arguments: argparse.Namespace) -> int:
             print(f"{name:<28} {get_backend(name).description}")
         return 0
 
+    # Validate the backend name *before* generating the graph: a typo should
+    # fail in milliseconds with the full registry listed, not after paying
+    # for a PPM instance.
+    try:
+        get_backend(arguments.backend)
+    except BackendError as error:
+        print(f"repro detect: {error}", file=sys.stderr)
+        return 2
+
     n, blocks = arguments.n, arguments.blocks
     p = min(1.0, 2.0 * math.log(n) ** 2 / n)
     q = 0.6 / n
@@ -184,6 +260,7 @@ def _run_detect(arguments: argparse.Namespace) -> int:
         max_seeds=arguments.max_seeds,
         batch_size=arguments.batch_size,
         workers=arguments.workers,
+        executor=arguments.executor,
         dtype=arguments.dtype,
         num_communities=(
             arguments.num_communities
@@ -267,6 +344,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             batch_sizes=tuple(arguments.batch_sizes),
             seed=arguments.seed,
             workers=arguments.workers,
+            executor=arguments.executor,
         )
     elif arguments.command == "parallel":
         table = parallel_detection_scaling(
@@ -275,6 +353,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed_counts=tuple(arguments.seed_counts),
             seed=arguments.seed,
             workers=arguments.workers,
+            executor=arguments.executor,
+        )
+    elif arguments.command == "process":
+        table = process_detection_scaling(
+            n=arguments.n,
+            num_blocks=arguments.blocks,
+            num_seeds=arguments.num_seeds,
+            batch_size=arguments.batch_size,
+            worker_counts=tuple(arguments.worker_counts),
+            seed=arguments.seed,
         )
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {arguments.command!r}")

@@ -86,21 +86,10 @@ def detect_community_batch(
     all cores).  Both kernels are bit-identical per column/lane for every
     value, so the detected communities never depend on it.
     """
-    if capture_distributions:
-        # The distribution matrix is an internal artefact of the shared
-        # batch (used by the parallel driver's conflict resolution); it is
-        # not part of the unified RunReport surface, so this path calls the
-        # implementation directly.
-        return _detect_community_batch_impl(
-            graph,
-            seeds,
-            parameters,
-            delta_hint,
-            capture_distributions=True,
-            workers=workers,
-        )
     seed_tuple = tuple(int(s) for s in seeds)
     if not seed_tuple:
+        if capture_distributions:
+            return [], np.zeros((graph.num_vertices, 0), dtype=np.float64)
         return []
     from ..api import RunConfig, detect
 
@@ -110,10 +99,29 @@ def detect_community_batch(
         params=parameters,
         delta_hint=delta_hint,
         config=RunConfig(
-            seeds=seed_tuple, batch_size=len(seed_tuple), workers=workers
+            seeds=seed_tuple,
+            batch_size=len(seed_tuple),
+            workers=workers,
+            capture_distributions=capture_distributions,
         ),
     )
-    return list(report.detection.communities)
+    results = list(report.detection.communities)
+    if capture_distributions:
+        finals = report.native_result
+        if finals is None:
+            # In-memory runs carry the raw matrix as the native result; a
+            # report that lost it (e.g. rebuilt from JSON) still rebuilds
+            # the (n, len(seeds)) column layout exactly from the artefact
+            # (`ndarray.tolist()` round-trips the same doubles).
+            finals = np.ascontiguousarray(
+                np.array(
+                    report.artifacts["final_distributions"], dtype=np.float64
+                )
+                .reshape(len(results), graph.num_vertices)
+                .T
+            )
+        return results, finals
+    return results
 
 
 def _detect_community_batch_impl(
@@ -307,11 +315,34 @@ def _detect_communities_batched_impl(
     seeds: list[int] | tuple[int, ...] | np.ndarray | None = None,
     workers: int | None = None,
     dtype: np.dtype = np.float64,
-) -> DetectionResult:
-    """The batched pool loop the ``"batched"`` backend executes."""
+    capture_distributions: bool = False,
+) -> DetectionResult | tuple[DetectionResult, np.ndarray]:
+    """The batched pool loop the ``"batched"`` backend executes.
+
+    With ``capture_distributions`` the return value is ``(detection,
+    finals)`` where ``finals[:, i]`` is the final walk distribution of
+    ``detection.communities[i]`` (see :func:`detect_community_batch`).
+    """
     if batch_size < 1:
         raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
     parameters = parameters or CDRWParameters()
+    final_chunks: list[np.ndarray] = []
+
+    def run_batch(batch_seeds: list[int]) -> list[CommunityResult]:
+        outcome = _detect_community_batch_impl(
+            graph,
+            batch_seeds,
+            parameters,
+            delta_hint,
+            capture_distributions=capture_distributions,
+            workers=workers,
+            dtype=dtype,
+        )
+        if capture_distributions:
+            batch_results, batch_finals = outcome
+            final_chunks.append(batch_finals)
+            return batch_results
+        return outcome
 
     if seeds is not None:
         seed_list = [int(s) for s in seeds]
@@ -319,22 +350,37 @@ def _detect_communities_batched_impl(
             seed_list = seed_list[:max_seeds]
         results: list[CommunityResult] = []
         for start in range(0, len(seed_list), batch_size):
-            results.extend(
-                _detect_community_batch_impl(
-                    graph,
-                    seed_list[start:start + batch_size],
-                    parameters,
-                    delta_hint,
-                    workers=workers,
-                    dtype=dtype,
-                )
-            )
-        return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
+            results.extend(run_batch(seed_list[start:start + batch_size]))
+        return _bundle_batched_result(
+            graph, results, final_chunks, capture_distributions
+        )
 
-    rng = as_rng(seed)
+    results = _pool_loop(graph, as_rng(seed), batch_size, max_seeds, run_batch)
+    return _bundle_batched_result(graph, results, final_chunks, capture_distributions)
+
+
+def _pool_loop(
+    graph: Graph,
+    rng: np.random.Generator,
+    batch_size: int,
+    max_seeds: int | None,
+    run_batch,
+) -> list[CommunityResult]:
+    """Algorithm 1's pool loop, batched: draw up to ``batch_size`` seeds per round.
+
+    ``run_batch(round_seeds)`` executes one round and returns its
+    :class:`CommunityResult` list in seed order.  This single definition
+    serves both execution tiers — the thread tier runs the batch in-process,
+    the process tier (:mod:`repro.execution_process`) shards it across the
+    worker pool — so the drawn seed sequence (and with it the cross-tier
+    identity guarantee) cannot diverge between them.  The draws use a
+    boolean membership mask exactly like the sequential pool loop of
+    :mod:`repro.core.cdrw`; with ``batch_size=1`` the draw sequence is
+    identical to it.
+    """
     pool = np.ones(graph.num_vertices, dtype=bool)
     remaining = graph.num_vertices
-    results = []
+    results: list[CommunityResult] = []
     while remaining > 0:
         if max_seeds is not None and len(results) >= max_seeds:
             break
@@ -352,9 +398,25 @@ def _detect_communities_batched_impl(
             remaining -= 1
         if not round_seeds:
             break
-        for result in _detect_community_batch_impl(
-            graph, round_seeds, parameters, delta_hint, workers=workers, dtype=dtype
-        ):
+        for result in run_batch(round_seeds):
             results.append(result)
             remaining -= _remove_detected(pool, result)
-    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))
+    return results
+
+
+def _bundle_batched_result(
+    graph: Graph,
+    results: list[CommunityResult],
+    final_chunks: list[np.ndarray],
+    capture_distributions: bool,
+) -> DetectionResult | tuple[DetectionResult, np.ndarray]:
+    detection = DetectionResult(
+        num_vertices=graph.num_vertices, communities=tuple(results)
+    )
+    if not capture_distributions:
+        return detection
+    if final_chunks:
+        finals = np.hstack(final_chunks)
+    else:
+        finals = np.zeros((graph.num_vertices, 0), dtype=np.float64)
+    return detection, finals

@@ -181,7 +181,21 @@ def _detect_communities_parallel_impl(
     raw_results, distributions = _detect_community_batch_impl(
         graph, seeds, parameters, delta_hint, capture_distributions=True, workers=workers
     )
+    resolved = _merge_and_resolve(raw_results, distributions, overlap_merge_threshold)
+    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(resolved))
 
+
+def _merge_and_resolve(
+    raw_results: list[CommunityResult],
+    distributions: np.ndarray,
+    overlap_merge_threshold: float,
+) -> list[CommunityResult]:
+    """Steps 2-3 of the parallel driver: duplicate merge, then overlap resolution.
+
+    Shared by the thread and process execution tiers — both hand the raw
+    per-seed batch results (identical by the batch guarantee) to this one
+    function, so the tiers cannot diverge in how conflicts are resolved.
+    """
     # Step 2 aftermath: drop duplicates of already-kept blocks (earlier seed
     # survives), remembering each survivor's index into the batch.
     survivors: list[int] = []
@@ -194,8 +208,7 @@ def _detect_communities_parallel_impl(
         if not duplicate:
             survivors.append(index)
 
-    resolved = _resolve_overlaps(raw_results, survivors, distributions)
-    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(resolved))
+    return _resolve_overlaps(raw_results, survivors, distributions)
 
 
 def _resolve_overlaps(

@@ -41,12 +41,36 @@ from typing import Callable, TypeVar
 
 from .exceptions import ReproError
 
-__all__ = ["resolve_workers", "parallel_map_blocks", "block_ranges"]
+__all__ = [
+    "resolve_workers",
+    "resolve_executor",
+    "parallel_map_blocks",
+    "block_ranges",
+    "EXECUTOR_THREAD",
+    "EXECUTOR_PROCESS",
+]
 
 #: Environment variable overriding the default worker count when the
 #: ``workers`` knob is left at ``None`` (e.g. ``REPRO_WORKERS=2 pytest`` runs
 #: the whole suite through the threaded paths).
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable overriding the default execution tier when the
+#: ``executor`` knob is left at ``None`` (e.g. ``REPRO_EXECUTOR=process
+#: pytest`` routes every batched/parallel detection through the
+#: shared-memory process pool of :mod:`repro.execution_process`).
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: The in-process tier: batched kernels on the shared thread pool (scipy /
+#: numpy release the GIL on the hot loops).  The default.
+EXECUTOR_THREAD = "thread"
+
+#: The out-of-process tier: seed shards on a worker-process pool sharing the
+#: CSR graph through :mod:`multiprocessing.shared_memory` — true multi-core
+#: scaling past the GIL (see :mod:`repro.execution_process`).
+EXECUTOR_PROCESS = "process"
+
+_EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
 
 _T = TypeVar("_T")
 
@@ -79,6 +103,26 @@ def resolve_workers(workers: int | None = None) -> int:
     if workers == 0:
         return os.cpu_count() or 1
     return workers
+
+
+def resolve_executor(executor: str | None = None) -> str:
+    """Return the effective execution tier for the given ``executor`` knob.
+
+    ``None`` defers to the ``REPRO_EXECUTOR`` environment variable (default
+    ``"thread"`` when unset).  Anything other than ``"thread"`` or
+    ``"process"`` raises :class:`~repro.exceptions.ReproError`.  Both tiers
+    produce identical detections — the knob only moves where the work runs.
+    """
+    if executor is None:
+        raw = os.environ.get(EXECUTOR_ENV_VAR)
+        if raw is None or not raw.strip():
+            return EXECUTOR_THREAD
+        executor = raw.strip()
+    if executor not in _EXECUTORS:
+        raise ReproError(
+            f"executor must be one of {', '.join(_EXECUTORS)}, got {executor!r}"
+        )
+    return executor
 
 
 def block_ranges(count: int, blocks: int) -> list[tuple[int, int]]:

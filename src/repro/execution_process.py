@@ -1,0 +1,635 @@
+"""Out-of-process execution tier: seed shards on a shared-memory process pool.
+
+The thread tier (:mod:`repro.execution`) scales the batched kernels as far as
+scipy/numpy release the GIL; pure-Python portions of the detection loop (the
+stopping rule, history bookkeeping, candidate scheduling) stay serialized.
+This module is the tier past that limit, mirroring the paper's k-machine
+deployment in-process: ``k`` worker *processes*, each running the unchanged
+batched detection kernel on its own shard of the seed pool.
+
+The design has three parts:
+
+* **One graph broadcast, zero per-task pickling.**  :class:`SharedGraph`
+  copies the CSR arrays (``indptr`` / ``indices`` / ``degrees``) into
+  :mod:`multiprocessing.shared_memory` segments once; every worker attaches
+  the segments read-only at pool start-up and rebuilds the :class:`Graph`
+  through the zero-copy :meth:`~repro.graphs.graph.Graph.from_csr`
+  constructor.  Tasks then carry only seed lists and parameters — the graph
+  never crosses a pipe.
+* **Deterministic sharding.**  A batch of seeds is split into contiguous
+  shards with the same :func:`~repro.execution.block_ranges` partition the
+  thread tier uses — a pure function of ``(count, workers)``, never of
+  timing — and shard results are merged back in shard order.  Every
+  per-seed :class:`~repro.core.result.CommunityResult` is *identical* to
+  the serial facade's because the batched kernels guarantee per-column
+  results independent of batch composition (the PR 1 bit-identical-walk and
+  PR 2 exact-search contracts).
+* **Parent-side RNG.**  All randomness — pool draws, seed spreading — runs
+  in the parent with the exact draw sequence of the serial implementation;
+  worker shards are pure functions of ``(graph, seeds, parameters, δ)``
+  (the walk is a deterministic power iteration, not a sampled trajectory),
+  so no seed state needs to be split across processes and results cannot
+  depend on scheduling.  The stopping parameter δ is resolved once in the
+  parent and shipped resolved (``resolve_delta`` is idempotent on its own
+  output), so workers skip the spectral conductance estimate.
+
+Worker processes run the batched kernels with ``workers=1`` — process-level
+parallelism replaces thread-level parallelism rather than multiplying it —
+which is bit-identical by the thread tier's own guarantee.
+
+The tier is selected through ``RunConfig(executor="process")`` (or the
+``REPRO_EXECUTOR`` environment override) on the ``batched`` and ``parallel``
+backends of :mod:`repro.api`; ``tests/test_process_executor.py`` pins the
+computed report payload — detections, cost totals, artifacts, serialized
+form — against the serial facade at several worker counts (the fields that
+describe the run itself — config, wall-clock timings, executor metadata —
+naturally differ).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .core.parameters import CDRWParameters
+from .core.result import CommunityResult, DetectionResult
+from .exceptions import AlgorithmError, ReproError
+from .graphs.graph import Graph
+from .utils import as_rng
+
+from .core.batched import _detect_community_batch_impl, _pool_loop
+from .core.parallel import _merge_and_resolve, select_spread_seeds
+from .execution import block_ranges, resolve_workers
+
+__all__ = [
+    "SharedGraph",
+    "SharedGraphHandle",
+    "AttachedGraph",
+    "ProcessGraphPool",
+    "ProcessOutcome",
+    "detect_batched_process",
+    "detect_parallel_process",
+]
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """Return the ``fork`` context on Linux, ``spawn`` everywhere else.
+
+    Fork keeps worker start-up at a few milliseconds (no interpreter boot,
+    no re-import).  It is gated on the platform, not on mere availability:
+    macOS *has* fork but CPython made ``spawn`` its default there
+    (bpo-33725) because forking after any thread has started — Accelerate's
+    BLAS pool from a prior numpy call, or this repo's own shared thread
+    pool — can abort the child.  Everything this module ships across the
+    process boundary — the handle, the shard tasks, the worker entry points
+    — is module-level and picklable, so spawn works unchanged.
+    """
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+# Shared-memory graph broadcast
+# ----------------------------------------------------------------------
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment (cleanup stays with the creator).
+
+    ``SharedMemory(name=...)`` re-registers the segment with the resource
+    tracker even on pure attach (bpo-39959).  Pool workers — fork or spawn —
+    inherit the *parent's* tracker process, whose registry is a per-name
+    set, so the extra registrations collapse into the creator's entry and
+    the creator's ``unlink`` (in :meth:`SharedGraph.close`) retires it;
+    explicitly unregistering here would instead strip the shared entry out
+    from under the creator.  Only :class:`SharedGraph` may unlink.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+@dataclass
+class AttachedGraph:
+    """A worker-side view of a broadcast graph plus the segments backing it.
+
+    The :class:`Graph` arrays alias the shared segments directly, so the
+    segments must stay open for the graph's lifetime; :meth:`close` detaches
+    them (the creator, not the attacher, unlinks).
+    """
+
+    graph: Graph
+    segments: tuple[shared_memory.SharedMemory, ...]
+
+    def close(self) -> None:
+        for segment in self.segments:
+            segment.close()
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """A picklable descriptor of a broadcast graph: segment names and shapes.
+
+    This is the only graph-related object that crosses the process boundary;
+    :meth:`attach` rebuilds the full :class:`Graph` in the attaching process
+    with zero copies (the CSR arrays are ndarray views over the mapped
+    segments, adopted by :meth:`Graph.from_csr` as-is).
+    """
+
+    num_vertices: int
+    num_arcs: int
+    indptr_name: str
+    indices_name: str
+    degrees_name: str
+
+    def attach(self) -> AttachedGraph:
+        """Map the segments and return the reconstructed read-only graph."""
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            arrays = []
+            for name, shape in (
+                (self.indptr_name, (self.num_vertices + 1,)),
+                (self.indices_name, (self.num_arcs,)),
+                (self.degrees_name, (self.num_vertices,)),
+            ):
+                segment = _attach_segment(name)
+                segments.append(segment)
+                arrays.append(np.ndarray(shape, dtype=np.int64, buffer=segment.buf))
+            indptr, indices, degrees = arrays
+            graph = Graph.from_csr(
+                self.num_vertices, indptr, indices, degrees=degrees, validate=False
+            )
+        except BaseException:
+            for segment in segments:
+                segment.close()
+            raise
+        return AttachedGraph(graph=graph, segments=tuple(segments))
+
+
+class SharedGraph:
+    """Parent-side owner of a graph broadcast into shared memory.
+
+    Creates one segment per CSR array, copies the data in once, and exposes
+    the picklable :attr:`handle` workers attach to.  The owner is
+    responsible for the segments' lifetime: :meth:`close` detaches *and
+    unlinks* them (idempotent).  Usable as a context manager.
+    """
+
+    def __init__(self, graph: Graph):
+        indptr, indices, degrees = graph.csr_arrays()
+        self._segments: list[shared_memory.SharedMemory] = []
+        try:
+            names = [self._create_and_fill(array) for array in (indptr, indices, degrees)]
+        except BaseException:
+            self.close()
+            raise
+        self.handle = SharedGraphHandle(
+            num_vertices=graph.num_vertices,
+            num_arcs=len(indices),
+            indptr_name=names[0],
+            indices_name=names[1],
+            degrees_name=names[2],
+        )
+
+    def _create_and_fill(self, array: np.ndarray) -> str:
+        # Zero-byte segments are rejected by the OS; an empty array still
+        # gets a 1-byte segment (the handle's shapes carry the real lengths).
+        segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+        view[...] = array
+        return segment.name
+
+    def close(self) -> None:
+        """Detach and unlink every segment (safe to call more than once)."""
+        while self._segments:
+            segment = self._segments.pop()
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points
+# ----------------------------------------------------------------------
+#: Set by :func:`_init_worker` when the pool starts; holds the attached graph
+#: (and its segments, keeping them mapped) for the life of the worker.
+_worker_attachment: AttachedGraph | None = None
+
+
+def _init_worker(handle: SharedGraphHandle) -> None:
+    global _worker_attachment
+    _worker_attachment = handle.attach()
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One worker task: a contiguous shard of a seed batch."""
+
+    seeds: tuple[int, ...]
+    parameters: CDRWParameters | None
+    delta_hint: float | None
+    capture_distributions: bool
+    dtype: str
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    results: tuple[CommunityResult, ...]
+    finals: np.ndarray | None
+    seconds: float
+
+
+def _run_shard(task: _ShardTask) -> _ShardResult:
+    if _worker_attachment is None:
+        raise ReproError("worker process was not initialised with a shared graph")
+    start = time.perf_counter()
+    outcome = _detect_community_batch_impl(
+        _worker_attachment.graph,
+        list(task.seeds),
+        task.parameters,
+        task.delta_hint,
+        capture_distributions=task.capture_distributions,
+        workers=1,
+        dtype=np.dtype(task.dtype),
+    )
+    if task.capture_distributions:
+        results, finals = outcome
+    else:
+        results, finals = outcome, None
+    return _ShardResult(
+        results=tuple(results), finals=finals, seconds=time.perf_counter() - start
+    )
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class ProcessGraphPool:
+    """Worker processes sharing one read-only broadcast graph.
+
+    The pool is created per detection run (fork start-up is milliseconds):
+    the graph is broadcast, ``workers`` processes attach it, seed batches are
+    sharded with :func:`~repro.execution.block_ranges` and merged in shard
+    order.  :meth:`close` tears down the workers and unlinks the segments.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: int | None = None,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self._shared = SharedGraph(graph)
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp_context or _preferred_context(),
+                initializer=_init_worker,
+                initargs=(self._shared.handle,),
+            )
+        except BaseException:
+            self._shared.close()
+            raise
+        self.tasks_issued = 0
+        self._task_seconds: list[float] = []
+
+    def run_seeds(
+        self,
+        seeds: list[int],
+        parameters: CDRWParameters | None,
+        delta_hint: float | None,
+        *,
+        batch_size: int,
+        capture_distributions: bool = False,
+        dtype: str = "float64",
+    ) -> tuple[list[CommunityResult], np.ndarray | None]:
+        """Detect every seed in ``seeds``, sharded across the worker processes.
+
+        The list is split into ``max(workers, ⌈len/batch_size⌉)`` contiguous
+        shards — every worker busy, no shard wider than ``batch_size`` — and
+        the merged results are identical to one serial batch over the same
+        list (per-seed results do not depend on batch composition).  With
+        ``capture_distributions`` the second return value holds the merged
+        ``(n, len(seeds))`` final-distribution matrix, columns in seed order.
+        """
+        if not seeds:
+            finals = (
+                np.zeros((self._shared.handle.num_vertices, 0), dtype=np.float64)
+                if capture_distributions
+                else None
+            )
+            return [], finals
+        num_shards = max(self.workers, -(-len(seeds) // max(1, batch_size)))
+        futures = []
+        for start, stop in block_ranges(len(seeds), num_shards):
+            task = _ShardTask(
+                seeds=tuple(seeds[start:stop]),
+                parameters=parameters,
+                delta_hint=delta_hint,
+                capture_distributions=capture_distributions,
+                dtype=dtype,
+            )
+            futures.append(self._executor.submit(_run_shard, task))
+        results: list[CommunityResult] = []
+        final_chunks: list[np.ndarray] = []
+        for future in futures:
+            shard = future.result()
+            results.extend(shard.results)
+            if shard.finals is not None:
+                final_chunks.append(shard.finals)
+            self._task_seconds.append(shard.seconds)
+            self.tasks_issued += 1
+        finals = np.hstack(final_chunks) if final_chunks else None
+        return results, finals
+
+    #: Per-shard timing keys are emitted individually up to this many shards;
+    #: past it (long pool-mode runs) only the aggregates are reported, so a
+    #: report's timing dict stays bounded.
+    MAX_SHARD_TIMING_KEYS = 16
+
+    def shard_timings(self) -> dict[str, float]:
+        """Wall-clock seconds per shard, in submission order, plus aggregates.
+
+        ``shard_<i>_seconds`` is the busy time of the *i*-th shard task this
+        pool ran (across every batch, in submission order — not a worker ID:
+        the executor assigns tasks to whichever worker is free).
+        ``shard_seconds_total`` / ``shard_seconds_max`` summarise the same
+        numbers and are always present; the per-shard keys are dropped past
+        :data:`MAX_SHARD_TIMING_KEYS` shards.
+        """
+        timings = {
+            "shard_seconds_total": float(sum(self._task_seconds)),
+            "shard_seconds_max": float(max(self._task_seconds, default=0.0)),
+        }
+        if len(self._task_seconds) <= self.MAX_SHARD_TIMING_KEYS:
+            for index, seconds in enumerate(self._task_seconds):
+                timings[f"shard_{index}_seconds"] = seconds
+        return timings
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+        self._shared.close()
+
+    def __enter__(self) -> "ProcessGraphPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Backend implementations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessOutcome:
+    """What the process tier hands back to the :mod:`repro.api` runners."""
+
+    detection: DetectionResult
+    final_distributions: np.ndarray | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, object] = field(default_factory=dict)
+
+
+def _serial_outcome(
+    detection: DetectionResult, finals: np.ndarray | None
+) -> ProcessOutcome:
+    """Wrap an inline (no-pool) run — taken for edgeless/empty graphs only."""
+    return ProcessOutcome(
+        detection=detection,
+        final_distributions=finals,
+        extras={"executor": "process", "worker_processes": 0, "process_tasks": 0},
+    )
+
+
+def _pool_outcome(
+    pool: ProcessGraphPool, detection: DetectionResult, finals: np.ndarray | None
+) -> ProcessOutcome:
+    return ProcessOutcome(
+        detection=detection,
+        final_distributions=finals,
+        timings=pool.shard_timings(),
+        extras={
+            "executor": "process",
+            "worker_processes": pool.workers,
+            "process_tasks": pool.tasks_issued,
+        },
+    )
+
+
+def detect_batched_process(
+    graph: Graph,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    max_seeds: int | None = None,
+    batch_size: int = 8,
+    seeds: tuple[int, ...] | list[int] | None = None,
+    workers: int | None = None,
+    dtype: str = "float64",
+    capture_distributions: bool = False,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+) -> ProcessOutcome:
+    """The ``"batched"`` backend on the process tier.
+
+    Detections (and, when captured, final distributions) are identical to
+    :func:`repro.core.batched._detect_communities_batched_impl` with the same
+    knobs: explicit seed lists are sharded directly; pool mode keeps the
+    draw loop — and therefore the exact RNG draw sequence — in the parent
+    and shards each round's batch.
+    """
+    if batch_size < 1:
+        raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
+    parameters = parameters or CDRWParameters()
+
+    explicit: list[int] | None = None
+    if seeds is not None:
+        explicit = [int(s) for s in seeds]
+        if max_seeds is not None:
+            explicit = explicit[:max_seeds]
+        for seed_vertex in explicit:
+            if seed_vertex not in graph:
+                raise AlgorithmError(
+                    f"seed vertex {seed_vertex} is not a vertex of {graph!r}"
+                )
+
+    trivial = (
+        graph.num_edges == 0
+        or graph.num_vertices == 0
+        or (explicit is not None and not explicit)
+    )
+    if trivial:
+        # Edgeless / empty runs hit the scalar fast path per seed; spinning
+        # up a pool would only add start-up latency.  Results are identical
+        # by the batch guarantee.
+        from .core.batched import _detect_communities_batched_impl
+
+        outcome = _detect_communities_batched_impl(
+            graph,
+            parameters,
+            delta_hint,
+            seed=seed,
+            max_seeds=max_seeds,
+            batch_size=batch_size,
+            seeds=explicit if seeds is not None else None,
+            workers=1,
+            dtype=np.dtype(dtype),
+            capture_distributions=capture_distributions,
+        )
+        if capture_distributions:
+            detection, finals = outcome
+        else:
+            detection, finals = outcome, None
+        return _serial_outcome(detection, finals)
+
+    delta = parameters.resolve_delta(graph, delta_hint)
+    with ProcessGraphPool(graph, workers, mp_context) as pool:
+        if explicit is not None:
+            results, finals = pool.run_seeds(
+                explicit,
+                parameters,
+                delta,
+                batch_size=batch_size,
+                capture_distributions=capture_distributions,
+                dtype=dtype,
+            )
+        else:
+            results, finals = _pool_mode(
+                pool,
+                graph,
+                parameters,
+                delta,
+                seed=seed,
+                max_seeds=max_seeds,
+                batch_size=batch_size,
+                capture_distributions=capture_distributions,
+                dtype=dtype,
+            )
+        detection = DetectionResult(
+            num_vertices=graph.num_vertices, communities=tuple(results)
+        )
+        return _pool_outcome(pool, detection, finals)
+
+
+def _pool_mode(
+    pool: ProcessGraphPool,
+    graph: Graph,
+    parameters: CDRWParameters,
+    delta: float,
+    *,
+    seed: int | np.random.Generator | None,
+    max_seeds: int | None,
+    batch_size: int,
+    capture_distributions: bool,
+    dtype: str,
+) -> tuple[list[CommunityResult], np.ndarray | None]:
+    """Algorithm 1's pool loop with each round's batch sharded across workers.
+
+    The loop itself is the *same* :func:`~repro.core.batched._pool_loop` the
+    serial impl runs — the draws happen in the parent against the same
+    shrinking membership mask with the same generator, only each round's
+    batch executes on the worker pool — so the drawn seed sequence (and with
+    it every detection) matches the serial facade exactly
+    (``tests/test_process_executor.py`` pins it).
+    """
+    final_chunks: list[np.ndarray] = []
+
+    def run_batch(round_seeds: list[int]) -> list[CommunityResult]:
+        round_results, round_finals = pool.run_seeds(
+            round_seeds,
+            parameters,
+            delta,
+            batch_size=batch_size,
+            capture_distributions=capture_distributions,
+            dtype=dtype,
+        )
+        if round_finals is not None:
+            final_chunks.append(round_finals)
+        return round_results
+
+    results = _pool_loop(graph, as_rng(seed), batch_size, max_seeds, run_batch)
+    if not capture_distributions:
+        return results, None
+    finals = (
+        np.hstack(final_chunks)
+        if final_chunks
+        else np.zeros((graph.num_vertices, 0), dtype=np.float64)
+    )
+    return results, finals
+
+
+def detect_parallel_process(
+    graph: Graph,
+    num_communities: int,
+    parameters: CDRWParameters | None = None,
+    delta_hint: float | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    overlap_merge_threshold: float = 0.5,
+    seed_min_distance: int = 2,
+    workers: int | None = None,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+) -> ProcessOutcome:
+    """The ``"parallel"`` backend on the process tier.
+
+    Seed spreading runs in the parent (same draws as the serial path), the
+    ``r`` detections are sharded across the workers with their final
+    distributions captured, and the duplicate-merge / overlap-resolution
+    steps run in the parent through the same
+    :func:`~repro.core.parallel._merge_and_resolve` the thread tier uses —
+    so the resolved communities are identical to the serial facade's.
+    """
+    if num_communities < 1:
+        raise AlgorithmError(f"num_communities must be >= 1, got {num_communities}")
+    if not (0.0 < overlap_merge_threshold <= 1.0):
+        raise AlgorithmError(
+            f"overlap_merge_threshold must be in (0, 1], got {overlap_merge_threshold}"
+        )
+    parameters = parameters or CDRWParameters()
+    rng = as_rng(seed)
+
+    spread = select_spread_seeds(
+        graph, num_communities, min_distance=seed_min_distance, seed=rng
+    )
+    if graph.num_edges == 0:
+        raw_results, distributions = _detect_community_batch_impl(
+            graph, spread, parameters, delta_hint, capture_distributions=True, workers=1
+        )
+        resolved = _merge_and_resolve(
+            list(raw_results), distributions, overlap_merge_threshold
+        )
+        detection = DetectionResult(
+            num_vertices=graph.num_vertices, communities=tuple(resolved)
+        )
+        return _serial_outcome(detection, None)
+
+    delta = parameters.resolve_delta(graph, delta_hint)
+    with ProcessGraphPool(graph, workers, mp_context) as pool:
+        raw_results, distributions = pool.run_seeds(
+            spread,
+            parameters,
+            delta,
+            batch_size=len(spread),
+            capture_distributions=True,
+        )
+        resolved = _merge_and_resolve(
+            list(raw_results), distributions, overlap_merge_threshold
+        )
+        detection = DetectionResult(
+            num_vertices=graph.num_vertices, communities=tuple(resolved)
+        )
+        return _pool_outcome(pool, detection, None)

@@ -3,6 +3,7 @@
 from .runner import ExperimentRow, ExperimentTable, TrialAggregate, run_timed, run_trials
 from .batched_detection import batched_detection_scaling
 from .parallel_detection import parallel_detection_scaling
+from .process_detection import process_detection_scaling
 from .parameters import PROBABILITY_SPECS, RATIO_SPECS, ProbabilitySpec, RatioSpec
 from .figures import (
     cdrw_f_score_on_gnp,
@@ -25,6 +26,7 @@ __all__ = [
     "run_trials",
     "batched_detection_scaling",
     "parallel_detection_scaling",
+    "process_detection_scaling",
     "PROBABILITY_SPECS",
     "RATIO_SPECS",
     "ProbabilitySpec",

@@ -35,6 +35,7 @@ def batched_detection_scaling(
     seed: int = 0,
     parameters: CDRWParameters | None = None,
     workers: int | None = None,
+    executor: str | None = None,
 ) -> ExperimentTable:
     """Measure batched multi-seed detection throughput on one PPM instance.
 
@@ -48,9 +49,13 @@ def batched_detection_scaling(
     batch_sizes:
         Batch widths to measure, each as one row next to the scalar baseline.
     workers:
-        Thread count for the batched kernels (``None`` → ``REPRO_WORKERS``
+        Worker count of the execution tier (``None`` → ``REPRO_WORKERS``
         env override, default serial); the detected communities are
         identical for every value, only the timings move.
+    executor:
+        Execution tier of the batched rows: ``"thread"`` (default) or
+        ``"process"`` (``None`` → ``REPRO_EXECUTOR`` env override); results
+        are identical across tiers.
     """
     if num_seeds < 1:
         raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
@@ -104,6 +109,7 @@ def batched_detection_scaling(
                 seeds=tuple(seeds),
                 batch_size=int(batch_size),
                 workers=workers,
+                executor=executor,
             ),
         )
         detection = report.detection

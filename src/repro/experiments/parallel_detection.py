@@ -35,6 +35,7 @@ def parallel_detection_scaling(
     parameters: CDRWParameters | None = None,
     seed_min_distance: int = 2,
     workers: int | None = None,
+    executor: str | None = None,
 ) -> ExperimentTable:
     """Measure parallel multi-seed detection throughput on one PPM instance.
 
@@ -47,9 +48,13 @@ def parallel_detection_scaling(
         compares the scalar per-seed loop over the *same* spread seeds
         against the batched parallel path.
     workers:
-        Thread count for the shared batched kernels (``None`` →
-        ``REPRO_WORKERS`` env override, default serial); the detected
-        communities are identical for every value, only the timings move.
+        Worker count of the execution tier (``None`` → ``REPRO_WORKERS``
+        env override, default serial); the detected communities are
+        identical for every value, only the timings move.
+    executor:
+        Execution tier of the parallel rows: ``"thread"`` (default) or
+        ``"process"`` (``None`` → ``REPRO_EXECUTOR`` env override); results
+        are identical across tiers.
     """
     if not seed_counts:
         raise ExperimentError("seed_counts must not be empty")
@@ -93,6 +98,7 @@ def parallel_detection_scaling(
                 num_communities=count,
                 seed_min_distance=seed_min_distance,
                 workers=workers,
+                executor=executor,
             ),
         )
         detection = parallel_report.detection

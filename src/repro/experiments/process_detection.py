@@ -1,0 +1,119 @@
+"""Throughput scaling of the shared-memory process execution tier.
+
+The process tier (:mod:`repro.execution_process`) shards the seed pool
+across worker processes that attach one shared-memory CSR broadcast of the
+graph — the step past the thread tier's GIL ceiling, mirroring the paper's
+``k``-machine deployment in-process.  This experiment quantifies it: a
+fixed seed set on one PPM instance, detected once on the serial in-process
+path as the baseline, then re-detected on the process tier at increasing
+worker counts — reporting seconds, speedup, accuracy, and a bit confirming
+the detections are identical to the serial baseline (they always are — see
+the determinism contract in :mod:`repro.execution_process`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..api import RunConfig, detect
+from ..core.parameters import CDRWParameters
+from ..exceptions import ExperimentError
+from ..graphs.generators import planted_partition_graph
+from ..graphs.properties import ppm_expected_conductance
+from ..metrics.scores import average_f_score
+from ..utils import as_rng
+from .runner import ExperimentTable
+
+__all__ = ["process_detection_scaling"]
+
+
+def process_detection_scaling(
+    n: int = 1024,
+    num_blocks: int = 4,
+    num_seeds: int = 16,
+    batch_size: int = 8,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    seed: int = 0,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Measure process-tier detection throughput on one PPM instance.
+
+    Parameters
+    ----------
+    n, num_blocks:
+        The PPM instance (paper-style ``p = 2 log²n / n`` within blocks).
+    num_seeds:
+        How many seed vertices are detected; the same seeds are reused for
+        every row so the timings are directly comparable.
+    batch_size:
+        Batch width of both tiers (also the process tier's shard-width cap).
+    worker_counts:
+        Process counts to measure, one row per value next to the serial
+        in-process baseline.
+    """
+    if num_seeds < 1:
+        raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
+    if not worker_counts:
+        raise ExperimentError("worker_counts must not be empty")
+    if any(count < 1 for count in worker_counts):
+        raise ExperimentError(f"worker counts must be >= 1, got {worker_counts}")
+    rng = as_rng(seed)
+    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+    q = 1.0 / n
+    instance = planted_partition_graph(n, num_blocks, p, q, seed=rng)
+    graph, truth = instance.graph, instance.partition
+    delta = ppm_expected_conductance(n, num_blocks, p, q)
+    seeds = [int(v) for v in rng.choice(n, size=min(num_seeds, n), replace=False)]
+
+    table = ExperimentTable(
+        name="process_detection_scaling",
+        description=(
+            f"Process-tier CDRW on PPM n={n}, r={num_blocks}: {len(seeds)} seeds, "
+            f"serial batched path vs shared-memory worker processes"
+        ),
+    )
+
+    baseline_report = detect(
+        graph,
+        backend="batched",
+        params=parameters,
+        delta_hint=delta,
+        config=RunConfig(
+            seeds=tuple(seeds), batch_size=batch_size, workers=1, executor="thread"
+        ),
+    )
+    baseline = baseline_report.detection
+    baseline_seconds = baseline_report.timings["total_seconds"]
+    table.add_row(
+        {"executor": "thread", "workers": 1},
+        {
+            "seconds": baseline_seconds,
+            "speedup": 1.0,
+            "f_score": average_f_score(baseline, truth),
+            "identical": 1.0,
+        },
+    )
+    for workers in worker_counts:
+        report = detect(
+            graph,
+            backend="batched",
+            params=parameters,
+            delta_hint=delta,
+            config=RunConfig(
+                seeds=tuple(seeds),
+                batch_size=batch_size,
+                workers=int(workers),
+                executor="process",
+            ),
+        )
+        seconds = report.timings["total_seconds"]
+        table.add_row(
+            {"executor": "process", "workers": int(workers)},
+            {
+                "seconds": seconds,
+                "speedup": baseline_seconds / seconds if seconds > 0 else float("inf"),
+                "f_score": average_f_score(report.detection, truth),
+                "identical": float(report.detection == baseline),
+            },
+        )
+    return table

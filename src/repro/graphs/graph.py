@@ -155,6 +155,89 @@ class Graph:
         return cls(num_vertices, array)
 
     @classmethod
+    def from_csr(
+        cls,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        degrees: np.ndarray | None = None,
+        validate: bool = True,
+    ) -> "Graph":
+        """Build a graph directly from prebuilt CSR adjacency arrays.
+
+        The arrays must describe the symmetric arc structure this class
+        produces itself: ``indptr`` of shape ``(n + 1,)``, row-sorted
+        ``indices`` holding both directions of every undirected edge, and
+        (optionally) the per-row ``degrees`` (recomputed from ``indptr`` when
+        omitted).  Int64 inputs are adopted **without copying** — the process
+        executor uses this to map a shared-memory graph into worker processes
+        with zero per-worker rebuild cost — so callers must treat the arrays
+        as frozen afterwards (the instance marks its views read-only).
+
+        ``validate=False`` skips the structural checks; reserve it for arrays
+        that provably came out of another :class:`Graph` (e.g. a
+        shared-memory broadcast of one).
+        """
+        if num_vertices < 0:
+            raise GraphError(f"number of vertices must be non-negative, got {num_vertices}")
+        n = int(num_vertices)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if degrees is None:
+            degrees = np.diff(indptr)
+        else:
+            degrees = np.ascontiguousarray(degrees, dtype=np.int64)
+        if validate:
+            if indptr.shape != (n + 1,):
+                raise GraphError(
+                    f"indptr must have shape ({n + 1},), got {indptr.shape}"
+                )
+            if indptr[0] != 0 or (np.diff(indptr) < 0).any():
+                raise GraphError("indptr must start at 0 and be non-decreasing")
+            if int(indptr[-1]) != len(indices):
+                raise GraphError(
+                    f"indptr[-1] ({int(indptr[-1])}) does not match the arc count "
+                    f"({len(indices)})"
+                )
+            if degrees.shape != (n,) or not np.array_equal(degrees, np.diff(indptr)):
+                raise GraphError("degrees do not match the indptr row lengths")
+            if len(indices) % 2 != 0:
+                raise GraphError(
+                    "CSR arc count must be even (each undirected edge stores two arcs)"
+                )
+            if len(indices):
+                if indices.min() < 0 or indices.max() >= n:
+                    raise GraphError("indices contain vertices outside the graph")
+                rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+                if (rows == indices).any():
+                    raise GraphError("self loops are not allowed")
+                # Within-row order must be strictly increasing (sorted, no
+                # duplicate arcs); decreases are only allowed at row starts.
+                decreasing = np.flatnonzero(np.diff(indices) <= 0) + 1
+                if not np.isin(decreasing, indptr[1:-1]).all():
+                    raise GraphError("indices must be strictly sorted within each row")
+        graph = cls.__new__(cls)
+        graph._n = n
+        graph._indptr = _readonly_view(indptr)
+        graph._indices = _readonly_view(indices)
+        graph._degrees = _readonly_view(degrees)
+        graph._num_edges = len(indices) // 2
+        graph._adjacency_cache = None
+        return graph
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(indptr, indices, degrees)`` as read-only views.
+
+        Together with :meth:`from_csr` this is the zero-copy interchange the
+        shared-memory process executor uses to broadcast a graph.
+        """
+        return tuple(
+            _readonly_view(array)
+            for array in (self._indptr, self._indices, self._degrees)
+        )
+
+    @classmethod
     def from_networkx(cls, nx_graph) -> "Graph":
         """Convert a :mod:`networkx` graph whose nodes are ``0..n-1``."""
         nodes = sorted(nx_graph.nodes())
@@ -399,6 +482,13 @@ class Graph:
         starts = self._indptr[indices]
         offsets = np.concatenate([[0], np.cumsum(counts[:-1])])
         return np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+
+
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    """Return a read-only view of ``array`` (the base array is left untouched)."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
 
 
 def _check_finite(array: np.ndarray) -> None:

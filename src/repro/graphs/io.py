@@ -12,7 +12,9 @@ Two interchange formats are supported:
 
 from __future__ import annotations
 
+import io
 import json
+import re
 from pathlib import Path
 from typing import Any
 
@@ -34,11 +36,30 @@ __all__ = [
 _HEADER_PREFIX = "# vertices:"
 
 
+#: Matches the vertex-count header line anywhere in the file — like every
+#: comment it may be indented (the old per-line reader stripped before
+#: matching, and ``loadtxt`` likewise skips indented ``#`` lines).  The
+#: value is captured loosely and validated separately so a malformed header
+#: still errors instead of being silently read as a plain comment.
+_HEADER_PATTERN = re.compile(
+    rf"^[ \t]*{re.escape(_HEADER_PREFIX)}(.*)$", flags=re.MULTILINE
+)
+
+#: Matches the first line that is neither blank nor a ``#`` comment — one
+#: C-speed scan deciding whether the file holds any edges at all (``loadtxt``
+#: warns on empty input instead of returning an empty array).
+_DATA_LINE_PATTERN = re.compile(r"^[ \t]*[^#\s]", flags=re.MULTILINE)
+
+
 def write_edge_list(graph: Graph, path: str | Path) -> None:
-    """Write ``graph`` to ``path`` as an edge list with a vertex-count header."""
+    """Write ``graph`` to ``path`` as an edge list with a vertex-count header.
+
+    The body is rendered from the bulk :meth:`~repro.graphs.graph.Graph.edge_array`
+    (one C-level ``tolist`` instead of the per-edge CSR-chunk generator).
+    """
     path = Path(path)
     lines = [f"{_HEADER_PREFIX} {graph.num_vertices}"]
-    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    lines.extend(f"{u} {v}" for u, v in graph.edge_array().tolist())
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
@@ -46,33 +67,50 @@ def read_edge_list(path: str | Path, num_vertices: int | None = None) -> Graph:
     """Read an edge list written by :func:`write_edge_list` (or any ``u v`` file).
 
     ``num_vertices`` overrides the header / inferred vertex count; when absent
-    and no header is present, the count is ``max vertex id + 1``.
+    and no header is present, the count is ``max vertex id + 1``.  Blank
+    lines and ``#`` comments are skipped; columns beyond the first two are
+    ignored.  Parsing is one :func:`numpy.loadtxt` pass straight into the
+    ``(m, 2)`` array the vectorized :meth:`Graph.from_edge_array`
+    constructor consumes — no per-edge Python tuples (the former loop
+    dominated million-edge loads; see ``tests/test_graphs_io.py``'s
+    slow-marked round trip).
     """
     path = Path(path)
-    edges: list[tuple[int, int]] = []
+    text = path.read_text(encoding="utf-8")
     header_vertices: int | None = None
-    for line_number, raw_line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
-        line = raw_line.strip()
-        if not line:
-            continue
-        if line.startswith(_HEADER_PREFIX):
-            header_vertices = int(line[len(_HEADER_PREFIX):].strip())
-            continue
-        if line.startswith("#"):
-            continue
-        parts = line.split()
-        if len(parts) < 2:
-            raise GraphError(f"{path}:{line_number}: expected 'u v', got {raw_line!r}")
-        edges.append((int(parts[0]), int(parts[1])))
+    headers = _HEADER_PATTERN.findall(text)
+    if headers:
+        # Multiple headers: the last one wins, as in the per-line reader.
+        try:
+            header_vertices = int(headers[-1].strip())
+        except ValueError:
+            raise GraphError(
+                f"{path}: malformed vertex-count header: "
+                f"{(_HEADER_PREFIX + headers[-1]).strip()!r}"
+            ) from None
+
+    if _DATA_LINE_PATTERN.search(text) is None:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+    else:
+        try:
+            edge_array = np.loadtxt(
+                io.StringIO(text),
+                dtype=np.int64,
+                comments="#",
+                usecols=(0, 1),
+                ndmin=2,
+            )
+        except (ValueError, IndexError) as error:
+            raise GraphError(f"{path}: malformed edge list: {error}") from None
 
     if num_vertices is None:
         if header_vertices is not None:
             num_vertices = header_vertices
-        elif edges:
-            num_vertices = max(max(u, v) for u, v in edges) + 1
+        elif edge_array.size:
+            num_vertices = int(edge_array.max()) + 1
         else:
             num_vertices = 0
-    return Graph(num_vertices, edges)
+    return Graph.from_edge_array(num_vertices, edge_array)
 
 
 def graph_to_dict(
@@ -83,7 +121,9 @@ def graph_to_dict(
     """Serialize a graph (and optional partition / metadata) to plain Python types."""
     document: dict[str, Any] = {
         "num_vertices": graph.num_vertices,
-        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+        # Bulk array serialization: edge_array().tolist() emits the same
+        # [[u, v], ...] pairs the former per-edge loop built, in one C pass.
+        "edges": graph.edge_array().tolist(),
     }
     if partition is not None:
         if partition.num_vertices != graph.num_vertices:
@@ -91,7 +131,7 @@ def graph_to_dict(
                 "partition covers a different vertex count than the graph "
                 f"({partition.num_vertices} vs {graph.num_vertices})"
             )
-        document["partition"] = [int(label) for label in partition.labels]
+        document["partition"] = partition.labels.tolist()
     if metadata is not None:
         document["metadata"] = metadata
     return document
@@ -101,10 +141,15 @@ def graph_from_dict(document: dict[str, Any]) -> tuple[Graph, Partition | None, 
     """Inverse of :func:`graph_to_dict`; returns ``(graph, partition, metadata)``."""
     try:
         num_vertices = int(document["num_vertices"])
-        edges = [(int(u), int(v)) for u, v in document["edges"]]
+        # One bulk conversion onto the vectorized constructor path; the
+        # int64 cast truncates floats exactly like the former per-pair
+        # ``int()`` loop did.
+        edge_array = np.asarray(document["edges"], dtype=np.int64)
     except (KeyError, TypeError, ValueError) as error:
         raise GraphError(f"malformed graph document: {error}") from error
-    graph = Graph(num_vertices, edges)
+    if edge_array.size == 0:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+    graph = Graph(num_vertices, edge_array)
     partition = None
     if "partition" in document and document["partition"] is not None:
         labels = np.asarray(document["partition"], dtype=np.int64)

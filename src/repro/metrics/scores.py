@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..core.result import DetectionResult
 from ..exceptions import MetricError
 from ..graphs.partition import Partition
@@ -160,26 +162,62 @@ def partition_average_f_score(detected: Partition, ground_truth: Partition) -> f
     comparison benchmark matches each detected community to the ground-truth
     community it overlaps most and averages the resulting F-scores (weighted
     by detected-community size so a swarm of singletons cannot dominate).
+
+    All D×T community pairs are scored from one label-pair confusion matrix
+    (a single ``np.bincount`` over the aligned label vectors) instead of the
+    former per-pair Python set intersections — O(n + D·T) instead of
+    O(D·T·n) — with **byte-identical** scores: every intersection size is
+    the same integer, and the vectorized precision / recall / harmonic-mean
+    arithmetic performs the exact float operations of the scalar
+    :func:`~repro.utils.harmonic_mean` path (regression-tested against the
+    set-based implementation on random partitions).
     """
     if detected.num_vertices != ground_truth.num_vertices:
         raise MetricError(
             "partitions cover different vertex counts: "
             f"{detected.num_vertices} vs {ground_truth.num_vertices}"
         )
-    detected_communities = detected.communities()
-    if not detected_communities:
+    num_detected = detected.num_communities
+    num_truth = ground_truth.num_communities
+    if num_detected == 0 or num_truth == 0:
         return 0.0
-    truth_communities = ground_truth.communities()
-    if not truth_communities:
-        return 0.0
+    detected_labels = detected.labels
+    truth_labels = ground_truth.labels
+
+    # Communities are exactly the label classes, so |C_d ∩ C_t| for every
+    # pair is one flattened-label bincount over the vertices assigned in
+    # *both* partitions; the community sizes count all assigned vertices.
+    detected_sizes = np.bincount(
+        detected_labels[detected_labels >= 0], minlength=num_detected
+    )
+    truth_sizes = np.bincount(truth_labels[truth_labels >= 0], minlength=num_truth)
+    both = (detected_labels >= 0) & (truth_labels >= 0)
+    intersections = np.bincount(
+        detected_labels[both] * num_truth + truth_labels[both],
+        minlength=num_detected * num_truth,
+    ).reshape(num_detected, num_truth)
+
+    # Same float arithmetic as the scalar path: int / int division per pair,
+    # then harmonic_mean's underflow-safe 2·high·(low/(low+high)) ordering
+    # (communities are non-empty, so the size divisions are always defined).
+    precision = intersections / detected_sizes[:, np.newaxis]
+    recall = intersections / truth_sizes[np.newaxis, :]
+    low = np.minimum(precision, recall)
+    high = np.maximum(precision, recall)
+    denominator = low + high
+    ratio = np.divide(
+        low, denominator, out=np.zeros_like(low), where=denominator > 0.0
+    )
+    f_scores = 2.0 * high * ratio
+    best = f_scores.max(axis=1)
+
+    # Accumulate in community-ID order, exactly like the former Python loop,
+    # so the running float sum matches it bit for bit.
     total_weight = 0
     total_score = 0.0
-    for community in detected_communities:
-        best = 0.0
-        for truth in truth_communities:
-            best = max(best, community_f_score(community, truth))
-        total_score += best * len(community)
-        total_weight += len(community)
+    for best_score, size in zip(best.tolist(), detected_sizes.tolist()):
+        total_score += best_score * size
+        total_weight += size
     if total_weight == 0:
         return 0.0
     return total_score / total_weight

@@ -328,3 +328,59 @@ class TestRunReport:
         assert report.config.batch_size == 1
         assert report.config.max_seeds == 1
         assert report.config.seed == 11
+
+    def test_capture_distributions_artifact(self, small_ppm):
+        """The final-walk snapshots ride the report instead of bypassing it."""
+        from repro.core.batched import _detect_community_batch_impl
+
+        seeds = (0, 9, 30)
+        report = detect(
+            small_ppm.graph, backend="batched", delta_hint=0.05,
+            config=RunConfig(seeds=seeds, capture_distributions=True),
+        )
+        rows = report.artifacts["final_distributions"]
+        assert len(rows) == len(report.detection.communities)
+        assert all(len(row) == small_ppm.graph.num_vertices for row in rows)
+        # Exactly the matrix the internal batch produces, column for column.
+        _, finals = _detect_community_batch_impl(
+            small_ppm.graph, list(seeds), None, 0.05, capture_distributions=True
+        )
+        assert np.array_equal(np.array(rows).T, finals)
+
+    def test_capture_distributions_off_by_default(self, small_ppm):
+        report = detect(
+            small_ppm.graph, backend="batched", delta_hint=0.05,
+            config=RunConfig(seeds=(0,)),
+        )
+        assert report.artifacts == {}
+        assert report.to_dict()["artifacts"] == {}
+
+    def test_capture_distributions_json_round_trip_is_exact(self, small_ppm):
+        report = detect(
+            small_ppm.graph, backend="batched", delta_hint=0.05,
+            config=RunConfig(seeds=(0, 9), capture_distributions=True),
+        )
+        restored = RunReport.from_json(report.to_json())
+        assert restored == report
+        assert restored.artifacts == report.artifacts  # exact floats, not approx
+
+    def test_capture_distributions_pool_mode(self, small_ppm):
+        from repro.core.batched import _detect_communities_batched_impl
+
+        report = detect(
+            small_ppm.graph, backend="batched", delta_hint=0.05,
+            config=RunConfig(seed=3, max_seeds=3, capture_distributions=True),
+        )
+        rows = report.artifacts["final_distributions"]
+        assert len(rows) == len(report.detection.communities)
+        for row in rows:
+            # Each snapshot is a full walk probability distribution.
+            assert sum(row) == pytest.approx(1.0)
+        # Rows align with the communities exactly as the impl emits them
+        # (column i of the impl matrix = community i): a shard-order or
+        # pool-round merge bug would misalign these.
+        _, finals = _detect_communities_batched_impl(
+            small_ppm.graph, None, 0.05, seed=3, max_seeds=3,
+            capture_distributions=True,
+        )
+        assert np.array_equal(np.array(rows).T, finals)

@@ -105,6 +105,78 @@ class TestConstruction:
         assert back == two_cliques_graph
 
 
+class TestFromCsr:
+    def test_round_trip_preserves_graph(self, two_cliques_graph):
+        indptr, indices, degrees = two_cliques_graph.csr_arrays()
+        rebuilt = Graph.from_csr(
+            two_cliques_graph.num_vertices, indptr, indices, degrees=degrees
+        )
+        assert rebuilt == two_cliques_graph
+        assert rebuilt.num_edges == two_cliques_graph.num_edges
+        assert list(rebuilt.neighbors(0)) == list(two_cliques_graph.neighbors(0))
+
+    def test_round_trip_without_degrees(self, path_graph):
+        indptr, indices, _ = path_graph.csr_arrays()
+        rebuilt = Graph.from_csr(path_graph.num_vertices, indptr, indices)
+        assert rebuilt == path_graph
+
+    def test_empty_graph(self):
+        rebuilt = Graph.from_csr(3, np.zeros(4, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert rebuilt.num_vertices == 3
+        assert rebuilt.num_edges == 0
+
+    def test_adopted_arrays_are_not_copied(self, two_cliques_graph):
+        indptr, indices, degrees = (
+            np.array(a) for a in two_cliques_graph.csr_arrays()
+        )
+        rebuilt = Graph.from_csr(
+            two_cliques_graph.num_vertices, indptr, indices, degrees=degrees
+        )
+        # Zero-copy adoption: the rebuilt graph's views alias the inputs.
+        assert np.shares_memory(rebuilt.csr_arrays()[1], indices)
+
+    def test_csr_arrays_read_only(self, triangle_graph):
+        for array in triangle_graph.csr_arrays():
+            with pytest.raises(ValueError):
+                array[0] = 99
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 3, 2]), np.array([1, 0]))
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([1, 1, 2]), np.array([1, 0]))
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 1]), np.array([1, 0]))
+
+    def test_validation_rejects_arc_count_mismatch(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 1, 3]), np.array([1, 0]))
+
+    def test_validation_rejects_out_of_range_indices(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 1, 2]), np.array([1, 5]))
+
+    def test_validation_rejects_self_loops(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 1, 2]), np.array([0, 0]))
+
+    def test_validation_rejects_unsorted_rows(self):
+        graph = Graph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        indptr, indices, _ = graph.csr_arrays()
+        shuffled = np.array(indices)
+        shuffled[0], shuffled[1] = shuffled[1], shuffled[0]
+        with pytest.raises(GraphError):
+            Graph.from_csr(4, indptr, shuffled)
+
+    def test_validation_rejects_bad_degrees(self, path_graph):
+        indptr, indices, degrees = path_graph.csr_arrays()
+        wrong = np.array(degrees)
+        wrong[0] += 1
+        wrong[1] -= 1
+        with pytest.raises(GraphError):
+            Graph.from_csr(path_graph.num_vertices, indptr, indices, degrees=wrong)
+
+
 class TestAccessors:
     def test_degrees(self, path_graph):
         assert path_graph.degree(0) == 1

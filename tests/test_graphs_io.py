@@ -50,6 +50,76 @@ class TestEdgeList:
         with pytest.raises(GraphError):
             read_edge_list(path)
 
+    def test_non_integer_token_raises_graph_error(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 x\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "weighted.edges"
+        path.write_text("0 1 7\n1 2 9\n", encoding="utf-8")
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 2
+
+    def test_indented_header_still_recognised(self, tmp_path):
+        # The per-line reader stripped before matching, so an indented
+        # header must keep working (regression: the first regex rewrite
+        # anchored at column 0 and silently dropped the vertex count).
+        path = tmp_path / "indented.edges"
+        path.write_text("  # vertices: 500\n0 1\n", encoding="utf-8")
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 500
+
+    def test_last_header_wins(self, tmp_path):
+        path = tmp_path / "two_headers.edges"
+        path.write_text("# vertices: 5\n0 1\n# vertices: 9\n", encoding="utf-8")
+        assert read_edge_list(path).num_vertices == 9
+
+    def test_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "bad_header.edges"
+        path.write_text("# vertices: 5x\n0 1\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_comment_only_file_is_empty(self, tmp_path):
+        path = tmp_path / "comments.edges"
+        path.write_text("# nothing here\n\n# still nothing\n", encoding="utf-8")
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 0
+        assert loaded.num_edges == 0
+
+    @pytest.mark.slow
+    def test_million_edge_round_trip(self, tmp_path):
+        """The array-path reader/writer must survive (and stay fast at) 1M edges."""
+        import time
+
+        import numpy as np
+
+        n = 200_000
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, n, size=(1_000_000, 2), dtype=np.int64)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        graph = Graph.from_edge_array(n, edges)
+
+        path = tmp_path / "million.edges"
+        start = time.perf_counter()
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        elapsed = time.perf_counter() - start
+        assert loaded == graph
+        # Very generous ceiling: the vectorized round trip runs in ~1.5s;
+        # the former per-edge tuple loops took over a minute at this size.
+        assert elapsed < 30.0, f"1M-edge edge-list round trip took {elapsed:.1f}s"
+
+        start = time.perf_counter()
+        document = graph_to_dict(graph)
+        rebuilt, _, _ = graph_from_dict(document)
+        elapsed = time.perf_counter() - start
+        assert rebuilt == graph
+        assert elapsed < 30.0, f"1M-edge dict round trip took {elapsed:.1f}s"
+
 
 class TestJsonBundle:
     def test_dict_round_trip_with_partition_and_metadata(self, two_cliques_graph):

@@ -108,6 +108,78 @@ class TestSeedScores:
         value = partition_average_f_score(predicted, truth)
         assert 0.0 <= value <= 1.0
 
+    @staticmethod
+    def _set_based_reference(detected: Partition, ground_truth: Partition) -> float:
+        """The pre-vectorization implementation, kept verbatim as the oracle."""
+        detected_communities = detected.communities()
+        if not detected_communities:
+            return 0.0
+        truth_communities = ground_truth.communities()
+        if not truth_communities:
+            return 0.0
+        total_weight = 0
+        total_score = 0.0
+        for community in detected_communities:
+            best = 0.0
+            for truth in truth_communities:
+                best = max(best, community_f_score(community, truth))
+            total_score += best * len(community)
+            total_weight += len(community)
+        if total_weight == 0:
+            return 0.0
+        return total_score / total_weight
+
+    def test_confusion_matrix_path_byte_identical_to_set_loop(self):
+        """The bincount rewrite must reproduce the set-based scores exactly."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        for _ in range(100):
+            n = int(rng.integers(1, 80))
+            detected = Partition.from_labels(rng.integers(-1, 6, size=n))
+            truth = Partition.from_labels(rng.integers(-1, 5, size=n))
+            fast = partition_average_f_score(detected, truth)
+            slow = self._set_based_reference(detected, truth)
+            assert fast == slow  # byte-identical, not approx
+
+    def test_all_unassigned_partitions(self):
+        empty = Partition.from_labels([-1, -1, -1])
+        truth = Partition.from_labels([0, 0, 1])
+        assert partition_average_f_score(empty, truth) == 0.0
+        assert partition_average_f_score(truth, empty) == 0.0
+
+    def test_detected_community_disjoint_from_truth_scores_zero(self):
+        # The detected community's members are all unassigned in the truth:
+        # every pairwise intersection is empty, so its best F-score is 0.
+        detected = Partition.from_labels([0, 0, 1, 1])
+        truth = Partition.from_labels([-1, -1, 0, 0])
+        value = partition_average_f_score(detected, truth)
+        assert value == pytest.approx(0.5)
+
+    @pytest.mark.perf
+    def test_partition_f_score_perf_smoke(self):
+        """O(n + D·T) rewrite: 200k vertices, 100×100 communities, well under 1s.
+
+        The former per-pair set loop took tens of seconds at this size; a
+        generous ceiling fails loudly if it sneaks back in.
+        """
+        import time
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        n = 200_000
+        detected = Partition.from_labels(rng.integers(0, 100, size=n))
+        truth = Partition.from_labels(rng.integers(0, 100, size=n))
+        start = time.perf_counter()
+        value = partition_average_f_score(detected, truth)
+        elapsed = time.perf_counter() - start
+        assert 0.0 <= value <= 1.0
+        assert elapsed < 1.0, (
+            f"partition_average_f_score took {elapsed:.2f}s on 200k vertices "
+            f"— did the per-pair set loop sneak back in?"
+        )
+
 
 class TestClusteringMetrics:
     def test_identical_partitions_max_scores(self):
