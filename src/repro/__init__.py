@@ -34,6 +34,27 @@ Any registered backend slots into the same call — ``backend="congest"``
 additionally returns the measured round/message costs in
 ``report.phase_costs`` — and ``repro detect --backend batched`` exposes the
 same facade on the command line.
+
+Resident sessions
+-----------------
+For a stream of queries against one graph, :class:`DetectionSession` keeps
+the expensive per-call setup resident — the shared-memory graph broadcast
+and worker pool on the process tier, the transition operator / mixing-set
+search / resolved δ on the thread tier — while every answer stays
+bit-identical to the one-shot facade:
+
+>>> from repro import DetectionSession
+>>> with DetectionSession(ppm.graph, config=RunConfig(seed=7)) as session:
+...     first = session.detect(seeds=[0, 300])
+...     second = session.detect(seeds=[100, 400])   # reuses cached setup
+>>> second.metadata["session_calls"]
+2
+>>> one_shot = detect(ppm.graph, "batched", config=RunConfig(seed=7, seeds=(100, 400)))
+>>> second.detection == one_shot.detection
+True
+
+``repro detect --session-repeat N`` exercises the same path from the
+command line.
 """
 
 from .exceptions import (
@@ -79,6 +100,7 @@ from .api import (
     unregister_backend,
 )
 from .metrics import average_f_score, score_detection
+from .session import DetectionSession
 
 __version__ = "1.1.0"
 
@@ -108,6 +130,7 @@ __all__ = [
     "stochastic_block_model_graph",
     # unified detection engine
     "Backend",
+    "DetectionSession",
     "RunConfig",
     "RunReport",
     "available_backends",

@@ -136,9 +136,20 @@ class RunConfig:
         materialising per-hop message objects (``False`` only on small
         graphs).
     capture_history:
-        Whether :meth:`RunReport.to_dict` includes the per-step mixing-set
-        history traces (the bulk of a serialized report).  The in-memory
-        :class:`~repro.core.result.DetectionResult` always carries them.
+        Whether the per-step mixing-set history traces are built at all.
+        With the default ``True`` every
+        :class:`~repro.core.result.CommunityResult` carries its full trace
+        and :meth:`RunReport.to_dict` serializes it (the bulk of a
+        serialized report).  ``False`` skips constructing the traces
+        end-to-end on the scalar, batched and parallel backends — the
+        detect loops never accumulate them and process-tier workers never
+        build or pickle them — so each result's ``history`` is empty;
+        the detected communities, walk lengths, stop reasons, δ and every
+        cost total are unchanged (the stopping rule consumes each step's
+        mixing set directly, never the accumulated list).  The congest,
+        kmachine and baseline backends ignore the flag at run time (their
+        native results carry no per-step traces to skip) but still honor
+        it at serialization time.
     capture_distributions:
         Batched backend only: store each community's final walk distribution
         in :attr:`RunReport.artifacts` under ``"final_distributions"`` (one
@@ -247,11 +258,19 @@ Runner = Callable[
 
 @dataclass(frozen=True)
 class Backend:
-    """A registered detection backend: a name, a description, and a runner."""
+    """A registered detection backend: a name, a description, and a runner.
+
+    ``supports_session`` marks runners that accept the extra ``session``
+    keyword argument of the resident-service path
+    (:class:`~repro.session.DetectionSession`); the facade only forwards a
+    session to such backends, so legacy four-argument runners keep working
+    unchanged.
+    """
 
     name: str
     description: str
     runner: Runner
+    supports_session: bool = False
 
     def run(
         self,
@@ -272,11 +291,14 @@ def register_backend(
     runner: Runner,
     description: str = "",
     replace_existing: bool = False,
+    supports_session: bool = False,
 ) -> Backend:
     """Register a detection backend under ``name`` and return its entry.
 
-    Raises :class:`~repro.exceptions.BackendError` when the name is already
-    taken, unless ``replace_existing`` is set.
+    ``supports_session`` declares that ``runner`` accepts the keyword-only
+    ``session`` argument (see :class:`Backend`).  Raises
+    :class:`~repro.exceptions.BackendError` when the name is already taken,
+    unless ``replace_existing`` is set.
     """
     if not name or not isinstance(name, str):
         raise BackendError(f"backend name must be a non-empty string, got {name!r}")
@@ -285,7 +307,12 @@ def register_backend(
             f"backend {name!r} is already registered; pass replace_existing=True "
             f"to override it"
         )
-    backend = Backend(name=name, description=description, runner=runner)
+    backend = Backend(
+        name=name,
+        description=description,
+        runner=runner,
+        supports_session=supports_session,
+    )
     _registry[name] = backend
     return backend
 
@@ -533,6 +560,7 @@ def detect(
     params: CDRWParameters | None = None,
     config: RunConfig | None = None,
     delta_hint: float | None = None,
+    session=None,
     **overrides,
 ) -> RunReport:
     """Detect communities of ``graph`` with the named backend.
@@ -544,16 +572,48 @@ def detect(
     on top of ``config`` for one-off tweaks, e.g.
     ``detect(g, "batched", seed=7, batch_size=16)``.
 
+    ``session`` routes the run through a resident
+    :class:`~repro.session.DetectionSession` holding ``graph``: the graph
+    broadcast, worker pool and derived operators are reused across calls
+    instead of rebuilt, with the computed payload bit-identical to the
+    session-free run.  The session must have been created for this exact
+    ``graph`` object, and the backend must support sessions (``"batched"``
+    and ``"parallel"``).  ``params`` / ``config`` / ``delta_hint`` default
+    to the session's own when omitted.
+
     Returns a :class:`RunReport`; the detected communities are identical to
     what the corresponding legacy entry point produces for the same knobs
     (RNG-sequence-preserving — asserted by ``tests/test_api.py``).
     """
     entry = get_backend(backend)
+    if session is not None:
+        if session.closed:
+            raise BackendError("the detection session is closed")
+        if graph is not session.graph:
+            raise BackendError(
+                "detect(session=...) requires the session's own graph object: "
+                "a session's broadcast and caches are keyed to one graph"
+            )
+        if not entry.supports_session:
+            raise BackendError(
+                f"backend {entry.name!r} does not support resident sessions; "
+                f"session-capable backends are registered with "
+                f"supports_session=True"
+            )
+        if params is None:
+            params = session.params
+        if config is None:
+            config = session.config
+        if delta_hint is None:
+            delta_hint = session.delta_hint
     resolved = config or RunConfig()
     if overrides:
         resolved = resolved.with_overrides(**overrides)
     start = time.perf_counter()
-    outcome = entry.runner(graph, params, resolved, delta_hint)
+    if session is not None:
+        outcome = entry.runner(graph, params, resolved, delta_hint, session=session)
+    else:
+        outcome = entry.runner(graph, params, resolved, delta_hint)
     elapsed = time.perf_counter() - start
     timings = {"total_seconds": elapsed}
     timings.update(outcome.timings)
@@ -592,14 +652,22 @@ def _scalar_runner(
         if config.max_seeds is not None:
             seed_list = seed_list[: config.max_seeds]
         communities = tuple(
-            _detect_community_impl(graph, s, params, delta_hint) for s in seed_list
+            _detect_community_impl(
+                graph, s, params, delta_hint, capture_history=config.capture_history
+            )
+            for s in seed_list
         )
         detection = DetectionResult(
             num_vertices=graph.num_vertices, communities=communities
         )
     else:
         detection = _detect_communities_impl(
-            graph, params, delta_hint, seed=config.seed, max_seeds=config.max_seeds
+            graph,
+            params,
+            delta_hint,
+            seed=config.seed,
+            max_seeds=config.max_seeds,
+            capture_history=config.capture_history,
         )
     return BackendOutcome(detection=detection)
 
@@ -619,7 +687,11 @@ def _batched_runner(
     params: CDRWParameters | None,
     config: RunConfig,
     delta_hint: float | None,
+    *,
+    session=None,
 ) -> BackendOutcome:
+    if session is not None:
+        return session._run_batched(params, config, delta_hint)
     executor = resolve_executor(config.executor)
     if executor == EXECUTOR_PROCESS:
         from .execution_process import detect_batched_process
@@ -635,6 +707,7 @@ def _batched_runner(
             workers=config.workers,
             dtype=config.dtype,
             capture_distributions=config.capture_distributions,
+            capture_history=config.capture_history,
         )
         artifacts: dict[str, object] = {}
         finals = None
@@ -662,6 +735,7 @@ def _batched_runner(
         workers=config.workers,
         dtype=np.dtype(config.dtype),
         capture_distributions=config.capture_distributions,
+        capture_history=config.capture_history,
     )
     artifacts = {}
     finals = None
@@ -686,12 +760,16 @@ def _parallel_runner(
     params: CDRWParameters | None,
     config: RunConfig,
     delta_hint: float | None,
+    *,
+    session=None,
 ) -> BackendOutcome:
     if config.num_communities is None:
         raise BackendError(
             "the 'parallel' backend needs the community-count estimate r: "
             "pass config=RunConfig(num_communities=...)"
         )
+    if session is not None:
+        return session._run_parallel(params, config, delta_hint)
     executor = resolve_executor(config.executor)
     if executor == EXECUTOR_PROCESS:
         from .execution_process import detect_parallel_process
@@ -705,6 +783,7 @@ def _parallel_runner(
             overlap_merge_threshold=config.overlap_merge_threshold,
             seed_min_distance=config.seed_min_distance,
             workers=config.workers,
+            capture_history=config.capture_history,
         )
         return BackendOutcome(
             detection=outcome.detection,
@@ -723,6 +802,7 @@ def _parallel_runner(
         overlap_merge_threshold=config.overlap_merge_threshold,
         seed_min_distance=config.seed_min_distance,
         workers=config.workers,
+        capture_history=config.capture_history,
     )
     return BackendOutcome(detection=detection, extras={"executor": executor})
 
@@ -888,9 +968,17 @@ _BASELINE_METHODS: tuple[str, ...] = (
 )
 
 
+_SESSION_BACKENDS: frozenset[str] = frozenset({"batched", "parallel"})
+
+
 def _register_builtins() -> None:
     for name, description, runner in _BUILTIN_BACKENDS:
-        register_backend(name, runner, description=description)
+        register_backend(
+            name,
+            runner,
+            description=description,
+            supports_session=name in _SESSION_BACKENDS,
+        )
     for method in _BASELINE_METHODS:
         register_backend(
             f"baseline:{method}",

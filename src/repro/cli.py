@@ -39,6 +39,7 @@ from .experiments import (
     figure4b_grid,
     kmachine_scaling,
     render_experiment,
+    session_throughput,
 )
 
 __all__ = ["main", "build_parser"]
@@ -120,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect_parser.add_argument(
         "--max-seeds", type=int, default=None, help="cap on the number of seeds processed"
+    )
+    detect_parser.add_argument(
+        "--session-repeat",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the detection N times through one resident DetectionSession "
+        "(batched/parallel backends): the graph broadcast, worker pool and "
+        "cached operators are reused across calls, results identical per call",
     )
     detect_parser.add_argument(
         "--json",
@@ -215,6 +225,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution tier (default: REPRO_EXECUTOR or thread)",
     )
 
+    session = subparsers.add_parser(
+        "session",
+        help="resident-session throughput: repeated small-batch detection with "
+        "per-call setup vs one DetectionSession",
+        parents=[seed_parent],
+    )
+    session.add_argument("--n", type=int, default=1024)
+    session.add_argument("--blocks", type=int, default=4)
+    session.add_argument("--repeats", type=int, default=8)
+    session.add_argument("--seeds-per-call", type=int, default=4)
+    session.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="workers of the execution tier (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
+    session.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="execution tier (default: REPRO_EXECUTOR or thread)",
+    )
+
     process = subparsers.add_parser(
         "process",
         help="process-pool detection scaling: serial batched path vs the "
@@ -269,10 +302,39 @@ def _run_detect(arguments: argparse.Namespace) -> int:
         ),
         num_machines=arguments.machines,
     )
-    try:
-        report = detect(
-            ppm.graph, backend=arguments.backend, config=config, delta_hint=delta
+    repeats = arguments.session_repeat
+    if repeats is not None and repeats < 1:
+        print(
+            f"repro detect: --session-repeat must be >= 1, got {repeats}",
+            file=sys.stderr,
         )
+        return 2
+    session_line = None
+    try:
+        if repeats is None:
+            report = detect(
+                ppm.graph, backend=arguments.backend, config=config, delta_hint=delta
+            )
+        else:
+            from .session import DetectionSession
+
+            with DetectionSession(
+                ppm.graph, config=config, delta_hint=delta
+            ) as session:
+                reports = [
+                    session.detect(backend=arguments.backend) for _ in range(repeats)
+                ]
+                report = reports[-1]
+                total = sum(r.timings["total_seconds"] for r in reports)
+                identical = all(
+                    r.detection == report.detection for r in reports
+                )
+                session_line = (
+                    f"  session: {repeats} calls in {total:.3f} s "
+                    f"({total / repeats:.3f} s/call), "
+                    f"broadcasts={session.broadcasts}, "
+                    f"identical={'yes' if identical else 'NO'}"
+                )
     except BackendError as error:
         print(f"repro detect: {error}", file=sys.stderr)
         return 2
@@ -290,6 +352,8 @@ def _run_detect(arguments: argparse.Namespace) -> int:
         f"f_score {average_f_score(detection, ppm.partition):.3f}"
     )
     print(f"  wall clock: {report.timings['total_seconds']:.3f} s")
+    if session_line is not None:
+        print(session_line)
     total = report.total_cost
     if total is not None:
         parts = [f"rounds={total.rounds}"]
@@ -354,6 +418,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=arguments.seed,
             workers=arguments.workers,
             executor=arguments.executor,
+        )
+    elif arguments.command == "session":
+        table = session_throughput(
+            n=arguments.n,
+            num_blocks=arguments.blocks,
+            repeats=arguments.repeats,
+            seeds_per_call=arguments.seeds_per_call,
+            workers=arguments.workers,
+            executor=arguments.executor,
+            seed=arguments.seed,
         )
     elif arguments.command == "process":
         table = process_detection_scaling(

@@ -133,12 +133,25 @@ def _detect_community_batch_impl(
     capture_distributions: bool = False,
     workers: int | None = None,
     dtype: np.dtype = np.float64,
+    capture_history: bool = True,
+    walk_operator=None,
+    search: BatchedMixingSetSearch | None = None,
 ) -> list[CommunityResult] | tuple[list[CommunityResult], np.ndarray]:
     """The batched multi-seed detection the ``"batched"`` backend executes.
 
     ``dtype`` selects the mixing-set scan precision
     (:class:`~repro.core.mixing_set.BatchedMixingSetSearch`); only the
     default ``float64`` carries the exactness guarantee.
+
+    ``capture_history=False`` skips accumulating the per-step mixing-set
+    traces (each result's ``history`` is empty); communities, walk lengths,
+    stop reasons and δ are unchanged — the stopping rules consume each
+    step's mixing set directly, never the accumulated lists.
+
+    ``walk_operator`` / ``search`` let a resident session inject the cached
+    transition operator and batched search instance so repeated calls skip
+    their construction; both are deterministic functions of ``(graph,
+    parameters, workers, dtype)``, so injecting them changes no float.
     """
     seed_list = [int(s) for s in seeds]
     if not seed_list:
@@ -173,13 +186,19 @@ def _detect_community_batch_impl(
     max_walk_length = parameters.resolve_max_walk_length(graph)
 
     # The search is stateless across walk lengths, so one instance serves the
-    # whole batch; the stopping rule is stateful and stays per-seed.
-    search = BatchedMixingSetSearch.from_parameters(
-        graph, parameters, initial_size, workers=workers, dtype=dtype
-    )
+    # whole batch (and, via injection, a whole session); the stopping rule is
+    # stateful and stays per-seed.
+    if search is None:
+        search = BatchedMixingSetSearch.from_parameters(
+            graph, parameters, initial_size, workers=workers, dtype=dtype
+        )
     stoppings = [GrowthStoppingRule(delta=delta) for _ in seed_list]
     walk = BatchedWalkDistribution(
-        graph, seed_list, lazy=parameters.lazy_walk, workers=workers
+        graph,
+        seed_list,
+        lazy=parameters.lazy_walk,
+        workers=workers,
+        operator=walk_operator,
     )
 
     num_seeds = len(seed_list)
@@ -200,7 +219,8 @@ def _detect_community_batch_impl(
         stopped_columns: set[int] = set()
         for column, index in enumerate(active):
             current = currents[column]
-            histories[index].append(current)
+            if capture_history:
+                histories[index].append(current)
             if current.found:
                 last_found[index] = current
             decision = stoppings[index].observe(current)
@@ -316,12 +336,17 @@ def _detect_communities_batched_impl(
     workers: int | None = None,
     dtype: np.dtype = np.float64,
     capture_distributions: bool = False,
+    capture_history: bool = True,
+    walk_operator=None,
+    search: BatchedMixingSetSearch | None = None,
 ) -> DetectionResult | tuple[DetectionResult, np.ndarray]:
     """The batched pool loop the ``"batched"`` backend executes.
 
     With ``capture_distributions`` the return value is ``(detection,
     finals)`` where ``finals[:, i]`` is the final walk distribution of
     ``detection.communities[i]`` (see :func:`detect_community_batch`).
+    ``capture_history`` / ``walk_operator`` / ``search`` are forwarded to
+    every :func:`_detect_community_batch_impl` round unchanged.
     """
     if batch_size < 1:
         raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
@@ -337,6 +362,9 @@ def _detect_communities_batched_impl(
             capture_distributions=capture_distributions,
             workers=workers,
             dtype=dtype,
+            capture_history=capture_history,
+            walk_operator=walk_operator,
+            search=search,
         )
         if capture_distributions:
             batch_results, batch_finals = outcome

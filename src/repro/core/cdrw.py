@@ -91,8 +91,17 @@ def _detect_community_impl(
     seed_vertex: int,
     parameters: CDRWParameters | None = None,
     delta_hint: float | None = None,
+    *,
+    capture_history: bool = True,
 ) -> CommunityResult:
-    """The single-seed detection the ``"scalar"`` backend executes."""
+    """The single-seed detection the ``"scalar"`` backend executes.
+
+    ``capture_history=False`` skips accumulating the per-step
+    :class:`LargestMixingSet` trace entirely (the result's ``history`` is
+    empty); the detected community, walk length, stop reason and δ are
+    unchanged — the stopping rule consumes each step's mixing set directly,
+    never the accumulated list.
+    """
     if seed_vertex not in graph:
         raise AlgorithmError(f"seed vertex {seed_vertex} is not a vertex of {graph!r}")
     if graph.num_edges == 0:
@@ -131,7 +140,8 @@ def _detect_community_impl(
     for length in range(1, max_walk_length + 1):
         walk.step()
         current = search.largest_mixing_set(walk.probabilities(), length)
-        history.append(current)
+        if capture_history:
+            history.append(current)
         if current.found:
             last_found = current
         decision = stopping.observe(current)
@@ -214,6 +224,8 @@ def _detect_communities_impl(
     delta_hint: float | None = None,
     seed: int | np.random.Generator | None = None,
     max_seeds: int | None = None,
+    *,
+    capture_history: bool = True,
 ) -> DetectionResult:
     """The pool loop the ``"scalar"`` backend executes."""
     parameters = parameters or CDRWParameters()
@@ -232,7 +244,13 @@ def _detect_communities_impl(
         if max_seeds is not None and len(results) >= max_seeds:
             break
         seed_vertex = int(rng.choice(np.flatnonzero(pool)))
-        result = _detect_community_impl(graph, seed_vertex, parameters, delta_hint=delta_hint)
+        result = _detect_community_impl(
+            graph,
+            seed_vertex,
+            parameters,
+            delta_hint=delta_hint,
+            capture_history=capture_history,
+        )
         results.append(result)
         remaining -= _remove_detected(pool, result)
     return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(results))

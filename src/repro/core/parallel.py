@@ -164,8 +164,16 @@ def _detect_communities_parallel_impl(
     overlap_merge_threshold: float = 0.5,
     seed_min_distance: int = 2,
     workers: int | None = None,
+    capture_history: bool = True,
+    walk_operator=None,
+    search=None,
 ) -> DetectionResult:
-    """The spread-seed shared-walk detection the ``"parallel"`` backend executes."""
+    """The spread-seed shared-walk detection the ``"parallel"`` backend executes.
+
+    ``capture_history`` / ``walk_operator`` / ``search`` are forwarded to the
+    shared batch (see :func:`~repro.core.batched._detect_community_batch_impl`);
+    none of them changes the detected communities.
+    """
     if num_communities < 1:
         raise AlgorithmError(f"num_communities must be >= 1, got {num_communities}")
     if not (0.0 < overlap_merge_threshold <= 1.0):
@@ -179,7 +187,15 @@ def _detect_communities_parallel_impl(
         graph, num_communities, min_distance=seed_min_distance, seed=rng
     )
     raw_results, distributions = _detect_community_batch_impl(
-        graph, seeds, parameters, delta_hint, capture_distributions=True, workers=workers
+        graph,
+        seeds,
+        parameters,
+        delta_hint,
+        capture_distributions=True,
+        workers=workers,
+        capture_history=capture_history,
+        walk_operator=walk_operator,
+        search=search,
     )
     resolved = _merge_and_resolve(raw_results, distributions, overlap_merge_threshold)
     return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(resolved))

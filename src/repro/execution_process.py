@@ -50,7 +50,8 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+import weakref
+from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 import multiprocessing
@@ -170,6 +171,22 @@ class SharedGraphHandle:
         return AttachedGraph(graph=graph, segments=tuple(segments))
 
 
+def _release_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    """Detach and unlink every segment in ``segments``, consuming the list.
+
+    Shared by :meth:`SharedGraph.close` and the :func:`weakref.finalize`
+    guard; popping from the one list both call with makes the release
+    idempotent regardless of which path runs first.
+    """
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
 class SharedGraph:
     """Parent-side owner of a graph broadcast into shared memory.
 
@@ -177,11 +194,23 @@ class SharedGraph:
     the picklable :attr:`handle` workers attach to.  The owner is
     responsible for the segments' lifetime: :meth:`close` detaches *and
     unlinks* them (idempotent).  Usable as a context manager.
+
+    A :func:`weakref.finalize` guard backs :meth:`close`: if the owner is
+    garbage-collected or the interpreter exits without ``close()`` having
+    run (e.g. the owner died between broadcast and cleanup), the segments
+    are still unlinked.  ``finalize`` fires at most once and ``close()``
+    invokes the same finalizer, so there is no double-unlink; forked pool
+    workers exit via ``os._exit`` and never run finalizers, so the "only
+    the creator unlinks" contract of :func:`_attach_segment` holds.
     """
 
     def __init__(self, graph: Graph):
         indptr, indices, degrees = graph.csr_arrays()
         self._segments: list[shared_memory.SharedMemory] = []
+        # Registered before the segments exist: _release_segments drains
+        # whatever the shared list holds at fire time, so a partially
+        # constructed broadcast is cleaned up too.
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
         try:
             names = [self._create_and_fill(array) for array in (indptr, indices, degrees)]
         except BaseException:
@@ -206,13 +235,7 @@ class SharedGraph:
 
     def close(self) -> None:
         """Detach and unlink every segment (safe to call more than once)."""
-        while self._segments:
-            segment = self._segments.pop()
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
+        self._finalizer()
 
     def __enter__(self) -> "SharedGraph":
         return self
@@ -236,13 +259,19 @@ def _init_worker(handle: SharedGraphHandle) -> None:
 
 @dataclass(frozen=True)
 class _ShardTask:
-    """One worker task: a contiguous shard of a seed batch."""
+    """One worker task: a contiguous shard of a seed batch.
+
+    ``capture_history=False`` tells the worker to skip building the per-seed
+    mixing-set histories entirely, so throughput-only runs never construct —
+    or pickle back across the pipe — :class:`LargestMixingSet` traces.
+    """
 
     seeds: tuple[int, ...]
     parameters: CDRWParameters | None
     delta_hint: float | None
     capture_distributions: bool
     dtype: str
+    capture_history: bool = True
 
 
 @dataclass(frozen=True)
@@ -264,6 +293,7 @@ def _run_shard(task: _ShardTask) -> _ShardResult:
         capture_distributions=task.capture_distributions,
         workers=1,
         dtype=np.dtype(task.dtype),
+        capture_history=task.capture_history,
     )
     if task.capture_distributions:
         results, finals = outcome
@@ -280,10 +310,18 @@ def _run_shard(task: _ShardTask) -> _ShardResult:
 class ProcessGraphPool:
     """Worker processes sharing one read-only broadcast graph.
 
-    The pool is created per detection run (fork start-up is milliseconds):
-    the graph is broadcast, ``workers`` processes attach it, seed batches are
-    sharded with :func:`~repro.execution.block_ranges` and merged in shard
-    order.  :meth:`close` tears down the workers and unlinks the segments.
+    One-shot runs create the pool per detection (fork start-up is
+    milliseconds): the graph is broadcast, ``workers`` processes attach it,
+    seed batches are sharded with :func:`~repro.execution.block_ranges` and
+    merged in shard order.  :meth:`close` tears down the workers and — when
+    the pool owns the broadcast — unlinks the segments.
+
+    A resident :class:`~repro.session.DetectionSession` instead broadcasts
+    the graph once and passes the :class:`SharedGraph` in via ``shared``;
+    the pool then only manages the executor and leaves the segments' lifetime
+    with the session (``close()`` shuts the workers down but does not
+    unlink), so the executor can be rebuilt — e.g. for a different worker
+    count — without a re-broadcast.
     """
 
     def __init__(
@@ -291,9 +329,12 @@ class ProcessGraphPool:
         graph: Graph,
         workers: int | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        *,
+        shared: SharedGraph | None = None,
     ):
         self.workers = resolve_workers(workers)
-        self._shared = SharedGraph(graph)
+        self._owns_shared = shared is None
+        self._shared = SharedGraph(graph) if shared is None else shared
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -302,7 +343,8 @@ class ProcessGraphPool:
                 initargs=(self._shared.handle,),
             )
         except BaseException:
-            self._shared.close()
+            if self._owns_shared:
+                self._shared.close()
             raise
         self.tasks_issued = 0
         self._task_seconds: list[float] = []
@@ -316,6 +358,7 @@ class ProcessGraphPool:
         batch_size: int,
         capture_distributions: bool = False,
         dtype: str = "float64",
+        capture_history: bool = True,
     ) -> tuple[list[CommunityResult], np.ndarray | None]:
         """Detect every seed in ``seeds``, sharded across the worker processes.
 
@@ -325,6 +368,14 @@ class ProcessGraphPool:
         list (per-seed results do not depend on batch composition).  With
         ``capture_distributions`` the second return value holds the merged
         ``(n, len(seeds))`` final-distribution matrix, columns in seed order.
+
+        Accounting (``tasks_issued`` / the per-shard timings) records
+        exactly the shards that ran to completion — ``tasks_issued ==
+        len(shard timings)`` always.  When a shard raises, the outstanding
+        futures are cancelled and awaited first, the shards that did finish
+        are still recorded, and only then does the worker's exception
+        propagate, so a poisoned shard leaves the pool consistent and
+        reusable.
         """
         if not seeds:
             finals = (
@@ -342,26 +393,52 @@ class ProcessGraphPool:
                 delta_hint=delta_hint,
                 capture_distributions=capture_distributions,
                 dtype=dtype,
+                capture_history=capture_history,
             )
             futures.append(self._executor.submit(_run_shard, task))
+        try:
+            shards = [future.result() for future in futures]
+        except BaseException:
+            # A raising shard must not leave stragglers running against a
+            # pool the caller may tear down, nor half-recorded accounting:
+            # cancel what has not started, await what has, then record the
+            # shards that completed successfully before re-raising.
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            for future in futures:
+                if future.done() and not future.cancelled() and future.exception() is None:
+                    self._record(future.result())
+            raise
         results: list[CommunityResult] = []
         final_chunks: list[np.ndarray] = []
-        for future in futures:
-            shard = future.result()
+        for shard in shards:
             results.extend(shard.results)
             if shard.finals is not None:
                 final_chunks.append(shard.finals)
-            self._task_seconds.append(shard.seconds)
-            self.tasks_issued += 1
+            self._record(shard)
         finals = np.hstack(final_chunks) if final_chunks else None
         return results, finals
+
+    def _record(self, shard: _ShardResult) -> None:
+        self._task_seconds.append(shard.seconds)
+        self.tasks_issued += 1
+
+    def mark(self) -> int:
+        """Snapshot the accounting position for per-call reporting.
+
+        Returns the number of completed shards recorded so far; pass it to
+        :meth:`shard_timings` (and subtract it from :attr:`tasks_issued`)
+        to report only the shards of one resident-session call.
+        """
+        return len(self._task_seconds)
 
     #: Per-shard timing keys are emitted individually up to this many shards;
     #: past it (long pool-mode runs) only the aggregates are reported, so a
     #: report's timing dict stays bounded.
     MAX_SHARD_TIMING_KEYS = 16
 
-    def shard_timings(self) -> dict[str, float]:
+    def shard_timings(self, since: int = 0) -> dict[str, float]:
         """Wall-clock seconds per shard, in submission order, plus aggregates.
 
         ``shard_<i>_seconds`` is the busy time of the *i*-th shard task this
@@ -369,20 +446,25 @@ class ProcessGraphPool:
         the executor assigns tasks to whichever worker is free).
         ``shard_seconds_total`` / ``shard_seconds_max`` summarise the same
         numbers and are always present; the per-shard keys are dropped past
-        :data:`MAX_SHARD_TIMING_KEYS` shards.
+        :data:`MAX_SHARD_TIMING_KEYS` shards.  ``since`` (a :meth:`mark`
+        snapshot) restricts the report to the shards recorded after it, with
+        indices re-based to 0 — a session call's timing dict then has the
+        same shape as a one-shot run's.
         """
+        recorded = self._task_seconds[since:]
         timings = {
-            "shard_seconds_total": float(sum(self._task_seconds)),
-            "shard_seconds_max": float(max(self._task_seconds, default=0.0)),
+            "shard_seconds_total": float(sum(recorded)),
+            "shard_seconds_max": float(max(recorded, default=0.0)),
         }
-        if len(self._task_seconds) <= self.MAX_SHARD_TIMING_KEYS:
-            for index, seconds in enumerate(self._task_seconds):
+        if len(recorded) <= self.MAX_SHARD_TIMING_KEYS:
+            for index, seconds in enumerate(recorded):
                 timings[f"shard_{index}_seconds"] = seconds
         return timings
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
-        self._shared.close()
+        if self._owns_shared:
+            self._shared.close()
 
     def __enter__(self) -> "ProcessGraphPool":
         return self
@@ -416,17 +498,142 @@ def _serial_outcome(
 
 
 def _pool_outcome(
-    pool: ProcessGraphPool, detection: DetectionResult, finals: np.ndarray | None
+    pool: ProcessGraphPool,
+    detection: DetectionResult,
+    finals: np.ndarray | None,
+    since: int = 0,
 ) -> ProcessOutcome:
+    """``since`` (a :meth:`ProcessGraphPool.mark` snapshot) restricts the
+    timings and task count to the shards of one call on a persistent pool;
+    one-shot runs use the default 0 (the pool's whole history)."""
     return ProcessOutcome(
         detection=detection,
         final_distributions=finals,
-        timings=pool.shard_timings(),
+        timings=pool.shard_timings(since=since),
         extras={
             "executor": "process",
             "worker_processes": pool.workers,
-            "process_tasks": pool.tasks_issued,
+            "process_tasks": pool.tasks_issued - since,
         },
+    )
+
+
+def _validate_batched_seeds(
+    graph: Graph,
+    seeds: tuple[int, ...] | list[int] | None,
+    max_seeds: int | None,
+    batch_size: int,
+) -> list[int] | None:
+    """Shared argument validation for the one-shot and session entry points.
+
+    Returns the truncated explicit seed list, or ``None`` in pool mode.
+    """
+    if batch_size < 1:
+        raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
+    if seeds is None:
+        return None
+    explicit = [int(s) for s in seeds]
+    if max_seeds is not None:
+        explicit = explicit[:max_seeds]
+    for seed_vertex in explicit:
+        if seed_vertex not in graph:
+            raise AlgorithmError(
+                f"seed vertex {seed_vertex} is not a vertex of {graph!r}"
+            )
+    return explicit
+
+
+def _is_trivial(graph: Graph, explicit: list[int] | None, seeds_given: bool) -> bool:
+    """Whether the run needs no pool: edgeless/empty graph or an empty seed list."""
+    return (
+        graph.num_edges == 0
+        or graph.num_vertices == 0
+        or (seeds_given and not explicit)
+    )
+
+
+def _trivial_batched_outcome(
+    graph: Graph,
+    parameters: CDRWParameters,
+    delta_hint: float | None,
+    *,
+    seed: int | np.random.Generator | None,
+    max_seeds: int | None,
+    batch_size: int,
+    explicit: list[int] | None,
+    seeds_given: bool,
+    dtype: str,
+    capture_distributions: bool,
+    capture_history: bool,
+) -> ProcessOutcome:
+    """The inline no-pool path for trivial runs (see :func:`_is_trivial`).
+
+    Edgeless / empty runs hit the scalar fast path per seed; spinning up a
+    pool would only add start-up latency.  Results are identical by the
+    batch guarantee.
+    """
+    from .core.batched import _detect_communities_batched_impl
+
+    outcome = _detect_communities_batched_impl(
+        graph,
+        parameters,
+        delta_hint,
+        seed=seed,
+        max_seeds=max_seeds,
+        batch_size=batch_size,
+        seeds=explicit if seeds_given else None,
+        workers=1,
+        dtype=np.dtype(dtype),
+        capture_distributions=capture_distributions,
+        capture_history=capture_history,
+    )
+    if capture_distributions:
+        detection, finals = outcome
+    else:
+        detection, finals = outcome, None
+    return _serial_outcome(detection, finals)
+
+
+def _run_batched_on_pool(
+    pool: ProcessGraphPool,
+    graph: Graph,
+    parameters: CDRWParameters,
+    delta: float,
+    *,
+    explicit: list[int] | None,
+    seed: int | np.random.Generator | None,
+    max_seeds: int | None,
+    batch_size: int,
+    capture_distributions: bool,
+    dtype: str,
+    capture_history: bool,
+) -> tuple[list[CommunityResult], np.ndarray | None]:
+    """Run one batched detection on an already-open pool (δ pre-resolved).
+
+    Shared by the one-shot entry point and the resident session, so a
+    session call executes exactly the sharding a one-shot run would.
+    """
+    if explicit is not None:
+        return pool.run_seeds(
+            explicit,
+            parameters,
+            delta,
+            batch_size=batch_size,
+            capture_distributions=capture_distributions,
+            dtype=dtype,
+            capture_history=capture_history,
+        )
+    return _pool_mode(
+        pool,
+        graph,
+        parameters,
+        delta,
+        seed=seed,
+        max_seeds=max_seeds,
+        batch_size=batch_size,
+        capture_distributions=capture_distributions,
+        dtype=dtype,
+        capture_history=capture_history,
     )
 
 
@@ -442,6 +649,7 @@ def detect_batched_process(
     workers: int | None = None,
     dtype: str = "float64",
     capture_distributions: bool = False,
+    capture_history: bool = True,
     mp_context: multiprocessing.context.BaseContext | None = None,
 ) -> ProcessOutcome:
     """The ``"batched"`` backend on the process tier.
@@ -452,73 +660,39 @@ def detect_batched_process(
     draw loop — and therefore the exact RNG draw sequence — in the parent
     and shards each round's batch.
     """
-    if batch_size < 1:
-        raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
     parameters = parameters or CDRWParameters()
+    explicit = _validate_batched_seeds(graph, seeds, max_seeds, batch_size)
 
-    explicit: list[int] | None = None
-    if seeds is not None:
-        explicit = [int(s) for s in seeds]
-        if max_seeds is not None:
-            explicit = explicit[:max_seeds]
-        for seed_vertex in explicit:
-            if seed_vertex not in graph:
-                raise AlgorithmError(
-                    f"seed vertex {seed_vertex} is not a vertex of {graph!r}"
-                )
-
-    trivial = (
-        graph.num_edges == 0
-        or graph.num_vertices == 0
-        or (explicit is not None and not explicit)
-    )
-    if trivial:
-        # Edgeless / empty runs hit the scalar fast path per seed; spinning
-        # up a pool would only add start-up latency.  Results are identical
-        # by the batch guarantee.
-        from .core.batched import _detect_communities_batched_impl
-
-        outcome = _detect_communities_batched_impl(
+    if _is_trivial(graph, explicit, seeds is not None):
+        return _trivial_batched_outcome(
             graph,
             parameters,
             delta_hint,
             seed=seed,
             max_seeds=max_seeds,
             batch_size=batch_size,
-            seeds=explicit if seeds is not None else None,
-            workers=1,
-            dtype=np.dtype(dtype),
+            explicit=explicit,
+            seeds_given=seeds is not None,
+            dtype=dtype,
             capture_distributions=capture_distributions,
+            capture_history=capture_history,
         )
-        if capture_distributions:
-            detection, finals = outcome
-        else:
-            detection, finals = outcome, None
-        return _serial_outcome(detection, finals)
 
     delta = parameters.resolve_delta(graph, delta_hint)
     with ProcessGraphPool(graph, workers, mp_context) as pool:
-        if explicit is not None:
-            results, finals = pool.run_seeds(
-                explicit,
-                parameters,
-                delta,
-                batch_size=batch_size,
-                capture_distributions=capture_distributions,
-                dtype=dtype,
-            )
-        else:
-            results, finals = _pool_mode(
-                pool,
-                graph,
-                parameters,
-                delta,
-                seed=seed,
-                max_seeds=max_seeds,
-                batch_size=batch_size,
-                capture_distributions=capture_distributions,
-                dtype=dtype,
-            )
+        results, finals = _run_batched_on_pool(
+            pool,
+            graph,
+            parameters,
+            delta,
+            explicit=explicit,
+            seed=seed,
+            max_seeds=max_seeds,
+            batch_size=batch_size,
+            capture_distributions=capture_distributions,
+            dtype=dtype,
+            capture_history=capture_history,
+        )
         detection = DetectionResult(
             num_vertices=graph.num_vertices, communities=tuple(results)
         )
@@ -536,6 +710,7 @@ def _pool_mode(
     batch_size: int,
     capture_distributions: bool,
     dtype: str,
+    capture_history: bool = True,
 ) -> tuple[list[CommunityResult], np.ndarray | None]:
     """Algorithm 1's pool loop with each round's batch sharded across workers.
 
@@ -556,6 +731,7 @@ def _pool_mode(
             batch_size=batch_size,
             capture_distributions=capture_distributions,
             dtype=dtype,
+            capture_history=capture_history,
         )
         if round_finals is not None:
             final_chunks.append(round_finals)
@@ -572,6 +748,46 @@ def _pool_mode(
     return results, finals
 
 
+def _validate_parallel_args(num_communities: int, overlap_merge_threshold: float) -> None:
+    """Shared argument validation for the one-shot and session entry points."""
+    if num_communities < 1:
+        raise AlgorithmError(f"num_communities must be >= 1, got {num_communities}")
+    if not (0.0 < overlap_merge_threshold <= 1.0):
+        raise AlgorithmError(
+            f"overlap_merge_threshold must be in (0, 1], got {overlap_merge_threshold}"
+        )
+
+
+def _run_parallel_on_pool(
+    pool: ProcessGraphPool,
+    graph: Graph,
+    parameters: CDRWParameters,
+    delta: float,
+    spread: list[int],
+    overlap_merge_threshold: float,
+    capture_history: bool = True,
+) -> DetectionResult:
+    """Shard the ``r`` spread-seed detections on an open pool and resolve.
+
+    Shared by the one-shot entry point and the resident session; the
+    duplicate-merge / overlap-resolution steps run in the parent through the
+    same :func:`~repro.core.parallel._merge_and_resolve` the thread tier
+    uses, so the resolved communities are identical to the serial facade's.
+    """
+    raw_results, distributions = pool.run_seeds(
+        spread,
+        parameters,
+        delta,
+        batch_size=len(spread),
+        capture_distributions=True,
+        capture_history=capture_history,
+    )
+    resolved = _merge_and_resolve(
+        list(raw_results), distributions, overlap_merge_threshold
+    )
+    return DetectionResult(num_vertices=graph.num_vertices, communities=tuple(resolved))
+
+
 def detect_parallel_process(
     graph: Graph,
     num_communities: int,
@@ -582,6 +798,7 @@ def detect_parallel_process(
     overlap_merge_threshold: float = 0.5,
     seed_min_distance: int = 2,
     workers: int | None = None,
+    capture_history: bool = True,
     mp_context: multiprocessing.context.BaseContext | None = None,
 ) -> ProcessOutcome:
     """The ``"parallel"`` backend on the process tier.
@@ -589,16 +806,10 @@ def detect_parallel_process(
     Seed spreading runs in the parent (same draws as the serial path), the
     ``r`` detections are sharded across the workers with their final
     distributions captured, and the duplicate-merge / overlap-resolution
-    steps run in the parent through the same
-    :func:`~repro.core.parallel._merge_and_resolve` the thread tier uses —
-    so the resolved communities are identical to the serial facade's.
+    steps run in the parent (see :func:`_run_parallel_on_pool`) — so the
+    resolved communities are identical to the serial facade's.
     """
-    if num_communities < 1:
-        raise AlgorithmError(f"num_communities must be >= 1, got {num_communities}")
-    if not (0.0 < overlap_merge_threshold <= 1.0):
-        raise AlgorithmError(
-            f"overlap_merge_threshold must be in (0, 1], got {overlap_merge_threshold}"
-        )
+    _validate_parallel_args(num_communities, overlap_merge_threshold)
     parameters = parameters or CDRWParameters()
     rng = as_rng(seed)
 
@@ -607,7 +818,13 @@ def detect_parallel_process(
     )
     if graph.num_edges == 0:
         raw_results, distributions = _detect_community_batch_impl(
-            graph, spread, parameters, delta_hint, capture_distributions=True, workers=1
+            graph,
+            spread,
+            parameters,
+            delta_hint,
+            capture_distributions=True,
+            workers=1,
+            capture_history=capture_history,
         )
         resolved = _merge_and_resolve(
             list(raw_results), distributions, overlap_merge_threshold
@@ -619,17 +836,13 @@ def detect_parallel_process(
 
     delta = parameters.resolve_delta(graph, delta_hint)
     with ProcessGraphPool(graph, workers, mp_context) as pool:
-        raw_results, distributions = pool.run_seeds(
-            spread,
+        detection = _run_parallel_on_pool(
+            pool,
+            graph,
             parameters,
             delta,
-            batch_size=len(spread),
-            capture_distributions=True,
-        )
-        resolved = _merge_and_resolve(
-            list(raw_results), distributions, overlap_merge_threshold
-        )
-        detection = DetectionResult(
-            num_vertices=graph.num_vertices, communities=tuple(resolved)
+            spread,
+            overlap_merge_threshold,
+            capture_history=capture_history,
         )
         return _pool_outcome(pool, detection, None)

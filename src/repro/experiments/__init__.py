@@ -4,6 +4,7 @@ from .runner import ExperimentRow, ExperimentTable, TrialAggregate, run_timed, r
 from .batched_detection import batched_detection_scaling
 from .parallel_detection import parallel_detection_scaling
 from .process_detection import process_detection_scaling
+from .session_detection import session_throughput
 from .parameters import PROBABILITY_SPECS, RATIO_SPECS, ProbabilitySpec, RatioSpec
 from .figures import (
     cdrw_f_score_on_gnp,
@@ -27,6 +28,7 @@ __all__ = [
     "batched_detection_scaling",
     "parallel_detection_scaling",
     "process_detection_scaling",
+    "session_throughput",
     "PROBABILITY_SPECS",
     "RATIO_SPECS",
     "ProbabilitySpec",

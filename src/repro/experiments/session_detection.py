@@ -1,0 +1,133 @@
+"""Throughput of the resident detection session vs per-call setup.
+
+The resident service shape of the ROADMAP north star — one big graph, a
+stream of small community queries — pays the one-shot facade's per-call
+setup (graph broadcast, pool fork, operator construction, δ resolution)
+on every request.  :class:`~repro.session.DetectionSession` amortises all
+of it across the stream.  This experiment quantifies the difference: a
+fixed sequence of small seed batches on one PPM instance, answered once
+with a fresh ``detect()`` per batch and once through a single session —
+reporting seconds, speedup, the broadcast count, and a bit confirming the
+answers are identical request for request (they always are — the session
+reuses only deterministic state).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..api import RunConfig, detect
+from ..core.parameters import CDRWParameters
+from ..exceptions import ExperimentError
+from ..execution import EXECUTOR_PROCESS, resolve_executor
+from ..graphs.generators import planted_partition_graph
+from ..graphs.properties import ppm_expected_conductance
+from ..session import DetectionSession
+from ..utils import as_rng
+from .runner import ExperimentTable
+
+__all__ = ["session_throughput"]
+
+
+def session_throughput(
+    n: int = 1024,
+    num_blocks: int = 4,
+    repeats: int = 8,
+    seeds_per_call: int = 4,
+    workers: int | None = None,
+    executor: str | None = None,
+    seed: int = 0,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Measure repeated small-batch detection: one-shot calls vs one session.
+
+    Parameters
+    ----------
+    n, num_blocks:
+        The PPM instance (paper-style ``p = 2 log²n / n`` within blocks).
+    repeats:
+        How many detection requests the stream contains.
+    seeds_per_call:
+        Seed vertices per request; each request is coalesced into one
+        batched pass (``batch_size = seeds_per_call``) on both paths.
+    workers, executor:
+        Execution-tier knobs shared by both paths (``None`` defers to the
+        ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment overrides) —
+        the per-call setup being amortised is the process tier's broadcast
+        and pool fork, or the thread tier's operator/search construction.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    if seeds_per_call < 1:
+        raise ExperimentError(f"seeds_per_call must be >= 1, got {seeds_per_call}")
+    rng = as_rng(seed)
+    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+    q = 1.0 / n
+    instance = planted_partition_graph(n, num_blocks, p, q, seed=rng)
+    graph = instance.graph
+    delta = ppm_expected_conductance(n, num_blocks, p, q)
+    requests = [
+        tuple(int(v) for v in rng.choice(n, size=min(seeds_per_call, n), replace=False))
+        for _ in range(repeats)
+    ]
+    config = RunConfig(batch_size=seeds_per_call, workers=workers, executor=executor)
+
+    table = ExperimentTable(
+        name="session_throughput",
+        description=(
+            f"Resident session vs per-call setup on PPM n={n}, r={num_blocks}: "
+            f"{repeats} requests x {seeds_per_call} seeds"
+        ),
+    )
+
+    start = time.perf_counter()
+    one_shot = [
+        detect(
+            graph,
+            backend="batched",
+            params=parameters,
+            delta_hint=delta,
+            config=config.with_overrides(seeds=request),
+        )
+        for request in requests
+    ]
+    one_shot_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with DetectionSession(
+        graph, config=config, params=parameters, delta_hint=delta
+    ) as session:
+        resident = [session.detect(seeds=request) for request in requests]
+        broadcasts = session.broadcasts
+    session_seconds = time.perf_counter() - start
+
+    identical = all(
+        fresh.detection == cached.detection
+        for fresh, cached in zip(one_shot, resident)
+    )
+    # One-shot process-tier calls broadcast (and fork) once per request; the
+    # thread tier broadcasts nothing on either path.
+    per_call = 1 if resolve_executor(executor) == EXECUTOR_PROCESS else 0
+    table.add_row(
+        {"mode": "one-shot", "repeats": repeats},
+        {
+            "seconds": one_shot_seconds,
+            "speedup": 1.0,
+            "broadcasts": float(repeats * per_call),
+        },
+    )
+    table.add_row(
+        {"mode": "session", "repeats": repeats},
+        {
+            "seconds": session_seconds,
+            "speedup": (
+                one_shot_seconds / session_seconds
+                if session_seconds > 0
+                else float("inf")
+            ),
+            "broadcasts": float(broadcasts),
+            "identical": float(identical),
+        },
+    )
+    return table

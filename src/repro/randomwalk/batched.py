@@ -84,6 +84,13 @@ class BatchedWalkDistribution:
         ``REPRO_WORKERS`` environment override, default serial; ``0`` → all
         cores).  Results are bit-identical for every value — see the module
         docstring.
+    operator:
+        Optional pre-built reverse transition operator (the transposed CSR
+        matrix the walk would otherwise construct from ``graph`` and
+        ``lazy``).  Operator construction is a deterministic function of the
+        graph, so supplying a cached copy — as
+        :class:`repro.session.DetectionSession` does across repeated
+        detections — changes no float; it only skips the O(m) rebuild.
     """
 
     def __init__(
@@ -92,6 +99,7 @@ class BatchedWalkDistribution:
         sources: Sequence[int],
         lazy: bool = False,
         workers: int | None = None,
+        operator: sp.csr_matrix | None = None,
     ):
         # One vectorized bounds check replaces the former per-element
         # `s not in graph` loop (which dominated construction at B in the
@@ -111,8 +119,16 @@ class BatchedWalkDistribution:
         self._sources = tuple(source_array.tolist())
         self._lazy = bool(lazy)
         self._workers = resolve_workers(workers)
-        if lazy:
-            self._operator: sp.csr_matrix = lazy_transition_matrix(graph).T.tocsr()
+        if operator is not None:
+            n = graph.num_vertices
+            if operator.shape != (n, n):
+                raise RandomWalkError(
+                    f"cached walk operator has shape {operator.shape}, "
+                    f"expected {(n, n)} for {graph!r}"
+                )
+            self._operator: sp.csr_matrix = operator
+        elif lazy:
+            self._operator = lazy_transition_matrix(graph).T.tocsr()
         else:
             self._operator = reverse_transition_matrix(graph)
         self._init_blocks()

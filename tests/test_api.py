@@ -302,7 +302,15 @@ class TestRunReport:
         assert restored == report
         assert restored.native_result is None
 
-    def test_capture_history_flag_trims_serialization(self, small_ppm):
+    def test_capture_history_flag_skips_histories_end_to_end(self, small_ppm):
+        """capture_history=False never builds the traces; results are unchanged.
+
+        The flag used to drop histories only at JSON time; it now skips
+        accumulating them in the detect loop itself, so the in-memory
+        results arrive with empty histories while the communities, walk
+        lengths, stop reasons and delta stay identical to a full run —
+        and the JSON round trip becomes exact (empty in, empty out).
+        """
         full = detect(
             small_ppm.graph, backend="scalar", delta_hint=0.05,
             config=RunConfig(seed=1, max_seeds=1),
@@ -311,14 +319,17 @@ class TestRunReport:
             small_ppm.graph, backend="scalar", delta_hint=0.05,
             config=RunConfig(seed=1, max_seeds=1, capture_history=False),
         )
-        assert full.detection == slim.detection  # the flag never changes results
+        assert all(c.history == () for c in slim.detection.communities)
+        assert any(c.history for c in full.detection.communities)
+        for kept, dropped in zip(full.detection.communities, slim.detection.communities):
+            assert kept.seed == dropped.seed
+            assert kept.community == dropped.community
+            assert kept.walk_length == dropped.walk_length
+            assert kept.stop_reason == dropped.stop_reason
+            assert kept.delta == dropped.delta
         assert len(slim.to_json()) < len(full.to_json())
         restored = RunReport.from_json(slim.to_json())
-        assert restored.detection.communities[0].history == ()
-        assert (
-            restored.detection.communities[0].community
-            == slim.detection.communities[0].community
-        )
+        assert restored == slim  # exact round trip now that histories are empty
 
     def test_overrides_apply_on_top_of_config(self, small_ppm):
         report = detect(

@@ -9,6 +9,7 @@ shared-memory broadcast may only move the wall clock.
 
 from __future__ import annotations
 
+import gc
 import math
 
 import numpy as np
@@ -358,3 +359,80 @@ class TestProcessEntryPoints:
         assert first == expected_first
         assert second == expected_second
         assert pool.tasks_issued >= 3
+
+
+# ----------------------------------------------------------------------
+# Segment lifetime: the finalizer guard and externally-owned broadcasts
+# ----------------------------------------------------------------------
+class TestSharedGraphFinalizer:
+    def test_orphaned_owner_unlinks_segments(self, triangle_graph):
+        """If the owner is garbage-collected without close(), no segment leaks."""
+        shared = SharedGraph(triangle_graph)
+        handle = shared.handle
+        del shared
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_close_after_finalizer_fired_is_safe(self, triangle_graph):
+        """close() and the finalizer share one release path — never a double unlink."""
+        shared = SharedGraph(triangle_graph)
+        shared._finalizer()
+        shared.close()
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            shared.handle.attach()
+
+    def test_pool_with_external_broadcast_does_not_unlink(self, ppm):
+        """A pool built on a session-owned SharedGraph leaves its segments alive."""
+        instance, delta = ppm
+        with SharedGraph(instance.graph) as shared:
+            pool = ProcessGraphPool(instance.graph, workers=1, shared=shared)
+            try:
+                results, _ = pool.run_seeds([0], None, delta, batch_size=1)
+                assert len(results) == 1
+            finally:
+                pool.close()
+            # Workers are gone, but the broadcast must still be attachable.
+            attachment = shared.handle.attach()
+            attachment.close()
+        with pytest.raises(FileNotFoundError):
+            shared.handle.attach()
+
+    def test_owned_broadcast_unlinked_on_pool_close(self, ppm):
+        instance, delta = ppm
+        pool = ProcessGraphPool(instance.graph, workers=1)
+        handle = pool._shared.handle
+        pool.run_seeds([0], None, delta, batch_size=1)
+        pool.close()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+
+# ----------------------------------------------------------------------
+# Accounting when a shard raises
+# ----------------------------------------------------------------------
+class TestPoolAccountingOnFailure:
+    def test_poisoned_shard_leaves_pool_consistent_and_usable(self, ppm):
+        instance, delta = ppm
+        with ProcessGraphPool(instance.graph, workers=2) as pool:
+            baseline, _ = pool.run_seeds([0, 9], None, delta, batch_size=1)
+            mark = pool.mark()
+            assert pool.tasks_issued == mark
+            with pytest.raises(ReproError):
+                pool.run_seeds(
+                    [17, instance.graph.num_vertices + 5],
+                    None,
+                    delta,
+                    batch_size=1,
+                )
+            # Only completed shards are recorded — the counter and the
+            # timing list stay in lockstep, with no placeholder entries.
+            assert pool.tasks_issued == pool.mark()
+            timings = pool.shard_timings(since=mark)
+            aggregates = ("shard_seconds_total", "shard_seconds_max")
+            per_shard = [key for key in timings if key not in aggregates]
+            assert len(per_shard) == pool.mark() - mark
+            # The pool survives the failure and keeps answering correctly.
+            again, _ = pool.run_seeds([0, 9], None, delta, batch_size=1)
+            assert again == baseline
