@@ -51,8 +51,12 @@ parallel paths and the session identity/broadcast checks still run).
 
 from __future__ import annotations
 
+import argparse
+import datetime
 import functools
+import json
 import os
+import platform
 import time
 
 import numpy as np
@@ -522,9 +526,74 @@ def test_session_beats_per_call_setup_at_least_2x():
     assert results["session_speedup"] >= SESSION_REQUIRED_SPEEDUP, results
 
 
-if __name__ == "__main__":
+def machine_facts() -> dict[str, object]:
+    """Facts that make an archived timing interpretable on another host."""
+    import scipy
+
+    import repro
+
+    return {
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count() or 1,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "scipy_version": scipy.__version__,
+        "repro_version": getattr(repro, "__version__", "unknown"),
+    }
+
+
+def dump_json(results: dict[str, float], path: str) -> None:
+    """Archive the timings plus machine facts and enforced thresholds."""
+    document = {
+        "benchmark": "bench_graph_kernel",
+        "machine": machine_facts(),
+        "workload": {
+            "num_vertices": NUM_VERTICES,
+            "num_edges": NUM_EDGES,
+            "num_seeds": NUM_SEEDS,
+            "search_vertices": SEARCH_VERTICES,
+            "search_edges": SEARCH_EDGES,
+            "parallel_vertices": PARALLEL_VERTICES,
+            "parallel_blocks": PARALLEL_BLOCKS,
+            "batch_widths": list(BATCH_WIDTHS),
+            "worker_counts": list(WORKER_COUNTS),
+            "process_vertices": PROCESS_VERTICES,
+            "process_seeds": PROCESS_SEEDS,
+            "session_repeats": SESSION_REPEATS,
+            "session_seeds_per_call": SESSION_SEEDS_PER_CALL,
+        },
+        "thresholds": {
+            "required_speedup": REQUIRED_SPEEDUP,
+            "threaded_required_speedup": THREADED_REQUIRED_SPEEDUP,
+            "process_required_speedup": PROCESS_REQUIRED_SPEEDUP,
+            "session_required_speedup": SESSION_REQUIRED_SPEEDUP,
+        },
+        "results": {key: results[key] for key in sorted(results)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Graph-kernel throughput benchmark (see module docstring)."
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also archive the timings + machine facts as JSON at PATH",
+    )
+    arguments = parser.parse_args(argv)
     table = run_benchmark()
     print_table(table)
+    if arguments.json:
+        dump_json(table, arguments.json)
     failed = []
     if table["construct_speedup"] < REQUIRED_SPEEDUP:
         failed.append("construction")
@@ -568,3 +637,7 @@ if __name__ == "__main__":
             )
         )
     )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,13 +10,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cdrw",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Efficient Distributed Community Detection in the "
         "Stochastic Block Model' (Fathi, Molla, Pandurangan; ICDCS 2019)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
     entry_points={"console_scripts": ["repro=repro.cli:main"]},

@@ -102,7 +102,7 @@ from .api import (
 from .metrics import average_f_score, score_detection
 from .session import DetectionSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,39 @@
+"""Static analysis for the detection engine: the ``repro lint`` framework.
+
+The engine's headline guarantee — *bit-identical results on every backend,
+worker count and executor* — rests on a handful of coding invariants
+(generator-passed RNG, exact integer round accounting, shared-memory
+finalizers, facade-only backend access, explicit kernel dtypes, picklable
+worker tasks) that used to be enforced only by convention and after-the-fact
+regression tests.  This package machine-checks them on every push:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record and the
+  inline ``# repro-lint: disable=<code>`` suppression parser;
+* :mod:`repro.analysis.rules` — the :class:`Rule` base class, the rule
+  registry, and the repo-specific rules (``REP101`` … ``REP106``), each
+  grounded in a real past bug class (see ``CONTRIBUTING.md``);
+* :mod:`repro.analysis.linter` — file discovery, rule execution and the
+  ``repro lint`` command-line front end (also ``python -m repro.analysis``).
+
+The linter is self-applied: ``repro lint src/ tests/`` must exit 0 on the
+repository's own tree, and CI fails the build on any diagnostic.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, Suppressions
+from .linter import LintResult, lint_file, lint_paths, main
+from .rules import Rule, all_rules, get_rule, register_rule
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "register_rule",
+]

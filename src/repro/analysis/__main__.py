@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the ``repro lint`` front end without install."""
+
+import sys
+
+from .linter import main
+
+if __name__ == "__main__":
+    sys.exit(main())

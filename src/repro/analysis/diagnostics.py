@@ -1,0 +1,119 @@
+"""Diagnostic records and inline suppression comments for ``repro lint``.
+
+A :class:`Diagnostic` is one finding — ``path:line:col: CODE message`` — and
+sorts in report order (path, then line, then column, then code), so a lint
+run over many files prints deterministically.
+
+Suppressions are ordinary comments::
+
+    segment = SharedMemory(create=True, size=1)  # repro-lint: disable=REP103
+    # repro-lint: disable-file=REP104
+
+``disable=<codes>`` silences the listed (comma-separated) codes on the
+comment's own line; ``disable-file=<codes>`` silences them for the whole
+file.  ``disable=all`` / ``disable-file=all`` silence every rule.  Comments
+are found with :mod:`tokenize`, so a ``# repro-lint:`` inside a string
+literal is never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Diagnostic", "Suppressions"]
+
+#: Matches one suppression directive inside a comment.  Several directives
+#: may share a comment (``# repro-lint: disable=REP101 repro-lint: ...``) but
+#: one per line is the expected style.
+_DIRECTIVE_RE = re.compile(
+    r"repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+#: Sentinel code meaning "every rule".
+_ALL = "all"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a file position.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as given to the linter.
+    line:
+        1-indexed source line of the offending node.
+    column:
+        1-indexed source column (``ast`` columns are 0-indexed; the
+        constructor takes the already-shifted human-facing value).
+    code:
+        The rule code, e.g. ``"REP105"``.
+    message:
+        Human-readable explanation, including what to use instead.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the canonical ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """The ``# repro-lint: disable…`` directives of one source file.
+
+    ``line_codes`` maps a 1-indexed line number to the set of codes disabled
+    on that line; ``file_codes`` holds the file-wide set.  The sentinel
+    ``"all"`` (in either set) disables every rule.
+    """
+
+    line_codes: dict[int, set[str]] = field(default_factory=dict)
+    file_codes: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Parse the suppression comments of ``source``.
+
+        Tokenization errors (the file will already fail to ``ast.parse``)
+        yield an empty suppression table rather than raising twice.
+        """
+        suppressions = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                for match in _DIRECTIVE_RE.finditer(token.string):
+                    codes = {
+                        code.strip().upper() if code.strip() != _ALL else _ALL
+                        for code in match.group("codes").replace(",", " ").split()
+                        if code.strip()
+                    }
+                    if not codes:
+                        continue
+                    if match.group("scope") == "disable-file":
+                        suppressions.file_codes |= codes
+                    else:
+                        line = token.start[0]
+                        suppressions.line_codes.setdefault(line, set()).update(codes)
+        except tokenize.TokenError:
+            pass
+        return suppressions
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Return whether ``code`` is disabled on ``line`` (or file-wide)."""
+        code = code.upper()
+        if _ALL in self.file_codes or code in self.file_codes:
+            return True
+        on_line = self.line_codes.get(line)
+        if on_line is None:
+            return False
+        return _ALL in on_line or code in on_line

@@ -1,0 +1,177 @@
+"""File discovery, rule execution and the ``repro lint`` front end.
+
+``lint_paths`` walks the given files/directories (skipping ``__pycache__``
+and hidden directories), parses each ``*.py`` file once, runs every
+applicable rule, drops diagnostics silenced by ``# repro-lint:`` directives,
+and returns the remainder in deterministic report order.  ``main`` is the
+command-line entry point shared by ``repro lint`` and
+``python -m repro.analysis``: it prints one ``path:line:col: CODE message``
+line per finding and exits nonzero when anything (including a syntax error)
+was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic, Suppressions
+from .rules import FileContext, Rule, all_rules, rule_table
+
+__all__ = ["LintResult", "lint_file", "lint_paths", "main"]
+
+#: Code used for files that fail to parse — not a rule (it cannot be
+#: suppressed away meaningfully), but reported through the same channel.
+SYNTAX_ERROR_CODE = "REP000"
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run: diagnostics plus file accounting."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found nothing."""
+        return not self.diagnostics
+
+
+def _is_test_file(parts: tuple[str, ...]) -> bool:
+    name = parts[-1]
+    return (
+        "tests" in parts[:-1]
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(
+                    part == "__pycache__" or part.startswith(".") for part in parts
+                ):
+                    continue
+                yield candidate
+        else:
+            yield path
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> list[Diagnostic]:
+    """Lint one file and return its (unsuppressed) diagnostics, sorted."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=str(path),
+                line=error.lineno or 1,
+                column=error.offset or 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    parts = tuple(part for part in path.parts if part not in (".", ""))
+    context = FileContext(
+        path=str(path),
+        parts=parts,
+        tree=tree,
+        source=source,
+        is_test=_is_test_file(parts),
+    )
+    suppressions = Suppressions.from_source(source)
+    diagnostics: list[Diagnostic] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(context):
+            continue
+        for diagnostic in rule.check(context):
+            if not suppressions.is_suppressed(diagnostic.line, diagnostic.code):
+                diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Sequence[Rule] | None = None
+) -> LintResult:
+    """Lint every ``*.py`` file under ``paths`` and return the result.
+
+    Diagnostics come back sorted by (path, line, column, code), so output is
+    stable across runs and filesystems.
+    """
+    result = LintResult()
+    seen: set[Path] = set()
+    for path in _iter_python_files(paths):
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        result.files_checked += 1
+        result.diagnostics.extend(lint_file(path, rules))
+    result.diagnostics.sort()
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro lint`` / ``python -m repro.analysis``.
+
+    Returns 0 when the tree is clean, 1 when any diagnostic was emitted,
+    and 2 for usage errors (e.g. a path that does not exist).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant checker for the detection engine: machine-"
+            "checks the coding rules the bit-identical-results guarantee "
+            "rests on (see CONTRIBUTING.md for the rule ledger)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        print(f"{'code':<8} {'name':<26} summary")
+        for code, name, summary in rule_table():
+            print(f"{code:<8} {name:<26} {summary}")
+        return 0
+
+    missing = [path for path in arguments.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"repro lint: no such file or directory: {path}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(arguments.paths)
+    for diagnostic in result.diagnostics:
+        print(diagnostic.format())
+    if result.diagnostics:
+        count = len(result.diagnostics)
+        print(
+            f"repro lint: {count} diagnostic{'s' if count != 1 else ''} in "
+            f"{result.files_checked} file{'s' if result.files_checked != 1 else ''}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

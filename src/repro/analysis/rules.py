@@ -1,0 +1,576 @@
+"""The repo-specific lint rules and their registry.
+
+Each rule is an :class:`ast.NodeVisitor`-style check with a stable code, a
+one-line summary, and a rationale naming the historical bug class it guards
+against (the long-form ledger lives in ``CONTRIBUTING.md``).  Rules are
+registered with :func:`register_rule` and discovered through
+:func:`all_rules`; a rule applies to a file when the file's path matches the
+rule's ``packages`` scope (``None`` = everywhere) and, for rules with
+``include_tests = False``, the file is not a test module.
+
+The shipped rules:
+
+========  ===========================================================
+``REP101``  RNG discipline — no ``random`` module, no legacy
+            ``np.random.*`` global-state API; randomness flows through
+            :class:`numpy.random.Generator` objects.
+``REP102``  Exact round accounting — no float ``log2`` in congest /
+            k-machine / random-walk round and step counts; use
+            :func:`repro.utils.ceil_log2`.
+``REP103``  Shared-memory hygiene — every ``SharedMemory(create=True)``
+            needs a ``weakref.finalize`` registration in the same class.
+``REP104``  Registry discipline — backend ``*_impl`` functions are only
+            imported by the engine internals and tests; everything else
+            goes through :func:`repro.api.detect`.
+``REP105``  Kernel dtype discipline — ``np.zeros/empty/ones/full`` in the
+            kernel packages must pass an explicit ``dtype=``.
+``REP106``  Picklable worker tasks — callables handed to a pool
+            ``.submit()`` must be module-level (no lambdas, no closures).
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    Attributes
+    ----------
+    path:
+        The path as it should appear in diagnostics.
+    parts:
+        The path split into components (used for package scoping).
+    tree:
+        The parsed module.
+    source:
+        The raw source text.
+    is_test:
+        Whether the file is a test module (under a ``tests`` directory, or
+        named ``test_*.py`` / ``conftest.py``).
+    """
+
+    path: str
+    parts: tuple[str, ...]
+    tree: ast.Module
+    source: str
+    is_test: bool
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    yields :class:`~repro.analysis.diagnostics.Diagnostic` records.  The
+    :meth:`report` helper anchors a diagnostic to an AST node with the
+    rule's own code.
+    """
+
+    #: Stable diagnostic code, e.g. ``"REP101"``.
+    code: str = ""
+    #: Short kebab-case name, shown by ``repro lint --list-rules``.
+    name: str = ""
+    #: One-line summary of the enforced invariant.
+    summary: str = ""
+    #: Directory names scoping the rule (``None`` = every file).  A file is
+    #: in scope when any of its parent directories matches an entry.
+    packages: tuple[str, ...] | None = None
+    #: Whether the rule also applies to test modules.
+    include_tests: bool = True
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Return whether this rule should run on ``context``'s file."""
+        if context.is_test and not self.include_tests:
+            return False
+        if self.packages is None:
+            return True
+        directories = context.parts[:-1]
+        return any(package in directories for package in self.packages)
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield the diagnostics of this rule for one file."""
+        raise NotImplementedError
+
+    def report(self, context: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        """Build a diagnostic for ``node`` with this rule's code."""
+        return Diagnostic(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+_registry: dict[str, Rule] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator registering a rule under its ``code``.
+
+    Codes are unique; re-registering one raises ``ValueError`` (tests that
+    need a scratch registry instantiate rules directly instead).
+    """
+    if not rule_class.code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    if rule_class.code in _registry:
+        raise ValueError(f"duplicate rule code {rule_class.code!r}")
+    _registry[rule_class.code] = rule_class()
+    return rule_class
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Return every registered rule, sorted by code."""
+    return tuple(_registry[code] for code in sorted(_registry))
+
+
+def get_rule(code: str) -> Rule:
+    """Return the registered rule with ``code`` (raises ``KeyError``)."""
+    return _registry[code.upper()]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+def _numpy_attribute(node: ast.AST, attribute: str) -> bool:
+    """Return whether ``node`` is ``np.<attribute>`` / ``numpy.<attribute>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attribute
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_ALIASES
+    )
+
+
+def _walk_with_class(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, ast.ClassDef | None]]:
+    """Yield ``(node, enclosing_class)`` pairs for every node in ``tree``."""
+
+    def visit(node: ast.AST, enclosing: ast.ClassDef | None) -> Iterator[
+        tuple[ast.AST, ast.ClassDef | None]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            yield child, enclosing
+            yield from visit(
+                child, child if isinstance(child, ast.ClassDef) else enclosing
+            )
+
+    yield from visit(tree, None)
+
+
+# ----------------------------------------------------------------------
+# REP101 — RNG discipline
+# ----------------------------------------------------------------------
+#: The modern Generator-based surface of ``numpy.random``; everything else
+#: on the module (``seed``, ``rand``, ``randint`` …) is hidden global state.
+_GENERATOR_API = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    """All randomness flows through a passed :class:`numpy.random.Generator`.
+
+    The stdlib ``random`` module and the legacy ``np.random.*`` global-state
+    API (``np.random.seed`` / ``rand`` / ``randint`` …) draw from hidden
+    process-wide state, which breaks the engine's bit-identical-replay
+    guarantee the moment two executors (threads, worker processes, resident
+    sessions) interleave draws.  Only the Generator construction surface
+    (``default_rng``, ``Generator``, ``SeedSequence``, the bit generators)
+    is allowed; call sites receive a generator, they never reach for global
+    state.
+    """
+
+    code = "REP101"
+    name = "rng-discipline"
+    summary = (
+        "no `random` module and no legacy `np.random.*` global-state API; "
+        "pass a numpy.random.Generator"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.report(
+                            context,
+                            node,
+                            "the stdlib `random` module draws from hidden global "
+                            "state; use a passed numpy.random.Generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.report(
+                        context,
+                        node,
+                        "the stdlib `random` module draws from hidden global "
+                        "state; use a passed numpy.random.Generator",
+                    )
+                elif node.level == 0 and node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _GENERATOR_API:
+                            yield self.report(
+                                context,
+                                node,
+                                f"legacy numpy.random.{alias.name} uses global "
+                                "state; use a passed numpy.random.Generator",
+                            )
+            elif isinstance(node, ast.Attribute):
+                value = node.value
+                if (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in _NUMPY_ALIASES
+                    and node.attr not in _GENERATOR_API
+                ):
+                    yield self.report(
+                        context,
+                        node,
+                        f"legacy np.random.{node.attr} uses global state; use a "
+                        "passed numpy.random.Generator",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP102 — exact round accounting
+# ----------------------------------------------------------------------
+@register_rule
+class ExactLog2Rule(Rule):
+    """Round/step counts use exact integer ``ceil_log2``, never float ``log2``.
+
+    ``ceil(log2(float(n)))`` misrounds near powers of two once ``n`` is
+    large (the float ``log2`` of ``2**k + 1`` can round down to exactly
+    ``k``), silently undercharging a round.  The PR 3 cost-accounting sweep
+    replaced every binary-search round charge with the bit-length based
+    :func:`repro.utils.ceil_log2`; this rule keeps float ``log2`` out of the
+    congest / k-machine / random-walk count code for good.
+    """
+
+    code = "REP102"
+    name = "exact-log2"
+    summary = (
+        "no float `log2` in congest/kmachine/randomwalk round accounting; "
+        "use repro.utils.ceil_log2"
+    )
+    packages = ("congest", "kmachine", "randomwalk")
+    include_tests = False
+
+    _MESSAGE = (
+        "float log2 misrounds near powers of two; use repro.utils.ceil_log2 "
+        "for integer round/step accounting"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "log2":
+                value = node.value
+                if isinstance(value, ast.Name) and value.id in (
+                    "math",
+                    *_NUMPY_ALIASES,
+                ):
+                    yield self.report(context, node, self._MESSAGE)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module in ("math", "numpy"):
+                    for alias in node.names:
+                        if alias.name == "log2":
+                            yield self.report(context, node, self._MESSAGE)
+
+
+# ----------------------------------------------------------------------
+# REP103 — shared-memory hygiene
+# ----------------------------------------------------------------------
+@register_rule
+class SharedMemoryFinalizerRule(Rule):
+    """Every owned shared-memory segment is backed by a ``weakref.finalize``.
+
+    PR 6 fixed a ``SharedGraph`` leak where abandoning the owner (without
+    calling ``close()``) left the ``SharedMemory(create=True)`` segments
+    allocated until reboot.  The repaired pattern registers a
+    ``weakref.finalize`` guard in the owning class so garbage collection and
+    interpreter exit unlink the segments; this rule requires every
+    ``SharedMemory(create=True)`` call to live in a class that registers
+    such a finalizer.
+    """
+
+    code = "REP103"
+    name = "shared-memory-finalizer"
+    summary = (
+        "every SharedMemory(create=True) needs a weakref.finalize "
+        "registration in the same class"
+    )
+    include_tests = False
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        finalizing_classes: set[ast.ClassDef] = set()
+        creators: list[tuple[ast.Call, ast.ClassDef | None]] = []
+        for node, enclosing in _walk_with_class(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_finalize(node.func) and enclosing is not None:
+                finalizing_classes.add(enclosing)
+            if self._creates_segment(node):
+                creators.append((node, enclosing))
+        for call, enclosing in creators:
+            if enclosing is None:
+                yield self.report(
+                    context,
+                    call,
+                    "SharedMemory(create=True) outside a class: segment "
+                    "ownership needs a class registering weakref.finalize",
+                )
+            elif enclosing not in finalizing_classes:
+                yield self.report(
+                    context,
+                    call,
+                    f"class {enclosing.name} creates a SharedMemory segment "
+                    "but registers no weakref.finalize guard; abandoned "
+                    "owners would leak the segment until reboot",
+                )
+
+    @staticmethod
+    def _is_finalize(func: ast.AST) -> bool:
+        if isinstance(func, ast.Attribute) and func.attr == "finalize":
+            value = func.value
+            return isinstance(value, ast.Name) and value.id == "weakref"
+        return isinstance(func, ast.Name) and func.id == "finalize"
+
+    @staticmethod
+    def _creates_segment(call: ast.Call) -> bool:
+        func = call.func
+        named = (
+            isinstance(func, ast.Name) and func.id == "SharedMemory"
+        ) or (isinstance(func, ast.Attribute) and func.attr == "SharedMemory")
+        if not named:
+            return False
+        return any(
+            keyword.arg == "create"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in call.keywords
+        )
+
+
+# ----------------------------------------------------------------------
+# REP104 — registry discipline
+# ----------------------------------------------------------------------
+#: Module-private backend entry points follow the ``_…_impl`` convention
+#: (``_detect_communities_batched_impl`` & co).
+_IMPL_NAME_RE = re.compile(r"^_\w*_impl$")
+
+#: Engine-internal modules allowed to bypass the facade: the facade itself,
+#: the resident session, the process tier, and the core package the
+#: implementations live in.
+_ENGINE_FILES = frozenset({"api.py", "session.py", "execution_process.py"})
+_ENGINE_PACKAGES = ("core",)
+
+
+@register_rule
+class RegistryDisciplineRule(Rule):
+    """Backend ``*_impl`` functions are reached only through the registry.
+
+    PR 4 collapsed seven ad-hoc entry points into the ``detect()`` facade
+    with module-private ``_…_impl`` functions behind it; every caller that
+    bypasses the registry re-creates the pre-facade drift this redesign
+    removed (bespoke knob handling, missed report metadata, RNG-sequence
+    skew).  Only the engine internals (``api.py``, ``session.py``,
+    ``execution_process.py``, the ``core`` package) and tests may import or
+    reference ``_…_impl`` names.
+    """
+
+    code = "REP104"
+    name = "registry-discipline"
+    summary = (
+        "no `_…_impl` imports outside the engine internals and tests; "
+        "go through repro.api.detect"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        if context.is_test:
+            return False
+        directories = context.parts[:-1]
+        if context.parts[-1] in _ENGINE_FILES and "repro" in directories:
+            return False
+        if any(package in directories for package in _ENGINE_PACKAGES):
+            return False
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if _IMPL_NAME_RE.match(alias.name):
+                        yield self.report(
+                            context,
+                            node,
+                            f"{alias.name} is a module-private backend "
+                            "implementation; call repro.api.detect (or the "
+                            "public shim) instead",
+                        )
+            elif isinstance(node, ast.Attribute) and _IMPL_NAME_RE.match(node.attr):
+                yield self.report(
+                    context,
+                    node,
+                    f"{node.attr} is a module-private backend implementation; "
+                    "call repro.api.detect (or the public shim) instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP105 — kernel dtype discipline
+# ----------------------------------------------------------------------
+_ALLOCATORS = frozenset({"zeros", "empty", "ones", "full"})
+
+
+@register_rule
+class ExplicitDtypeRule(Rule):
+    """Kernel allocations always pass an explicit ``dtype=``.
+
+    The equivalence suites pin kernels bit-for-bit across executors, so an
+    allocation that silently inherits numpy's defaults (``float64`` today,
+    platform-dependent for integer fills via ``np.full``) is an invariant
+    waiting to drift — e.g. a future ``dtype`` axis (the planned float32
+    walk) flipping a forgotten buffer.  Every ``np.zeros`` / ``np.empty`` /
+    ``np.ones`` / ``np.full`` in the kernel packages states its dtype.
+    """
+
+    code = "REP105"
+    name = "explicit-dtype"
+    summary = "np.zeros/empty/ones/full in kernel packages must pass dtype="
+    packages = (
+        "randomwalk",
+        "core",
+        "graphs",
+        "congest",
+        "kmachine",
+        "baselines",
+    )
+    include_tests = False
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _ALLOCATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _NUMPY_ALIASES
+            ):
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            # Positional dtype: np.zeros(shape, dtype) / np.full(shape, fill,
+            # dtype) — accepted, though the keyword form is the house style.
+            positional_dtype = 3 if func.attr == "full" else 2
+            if len(node.args) >= positional_dtype:
+                continue
+            yield self.report(
+                context,
+                node,
+                f"np.{func.attr} without an explicit dtype= inherits numpy's "
+                "default and can drift across kernels; state the dtype",
+            )
+
+
+# ----------------------------------------------------------------------
+# REP106 — picklable worker tasks
+# ----------------------------------------------------------------------
+@register_rule
+class PicklableTaskRule(Rule):
+    """Callables handed to a pool ``.submit()`` are module-level.
+
+    The process tier pickles every submitted task; lambdas and closures
+    (functions defined inside another function) fail to pickle — but only
+    at run time, only on the ``process`` executor, and only on the first
+    submission, which is exactly how such a bug escapes a thread-tier test
+    run.  Submitting a module-level function (or a bound method of a
+    picklable object, which this rule permits) works on both tiers.
+    """
+
+    code = "REP106"
+    name = "picklable-task"
+    summary = "callables passed to pool .submit() must be module-level"
+    include_tests = False
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        nested_names = self._nested_function_names(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+                continue
+            if not node.args:
+                continue
+            task = node.args[0]
+            if isinstance(task, ast.Lambda):
+                yield self.report(
+                    context,
+                    task,
+                    "lambda submitted to a pool: lambdas do not pickle on the "
+                    "process executor; submit a module-level function",
+                )
+            elif isinstance(task, ast.Name) and task.id in nested_names:
+                yield self.report(
+                    context,
+                    task,
+                    f"{task.id} is defined inside another function and will "
+                    "not pickle on the process executor; hoist it to module "
+                    "level",
+                )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+        """Names of functions defined inside another function."""
+        nested: set[str] = set()
+
+        def visit(node: ast.AST, inside_function: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                is_function = isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                if is_function and inside_function:
+                    nested.add(child.name)
+                visit(child, inside_function or is_function)
+
+        visit(tree, False)
+        return frozenset(nested)
+
+
+def rule_table() -> Sequence[tuple[str, str, str]]:
+    """Return ``(code, name, summary)`` rows for ``repro lint --list-rules``."""
+    return [(rule.code, rule.name, rule.summary) for rule in all_rules()]

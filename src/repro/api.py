@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
 
@@ -54,7 +54,11 @@ from .core.parameters import CDRWParameters
 from .core.result import CommunityResult, DetectionResult
 from .exceptions import BackendError
 from .graphs.graph import Graph
+from .graphs.partition import Partition
 from .kmachine.simulator import KMachineCost
+
+if TYPE_CHECKING:
+    from .session import DetectionSession
 
 __all__ = [
     "Backend",
@@ -189,7 +193,7 @@ class RunConfig:
                 f"(or None for the REPRO_EXECUTOR default), got {self.executor!r}"
             )
 
-    def with_overrides(self, **changes) -> "RunConfig":
+    def with_overrides(self, **changes: object) -> "RunConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 
@@ -426,7 +430,7 @@ class RunReport:
             ),
         }
 
-    def to_json(self, **dumps_kwargs) -> str:
+    def to_json(self, **dumps_kwargs: Any) -> str:
         """Serialize the report to a JSON string."""
         return json.dumps(self.to_dict(), **dumps_kwargs)
 
@@ -560,8 +564,8 @@ def detect(
     params: CDRWParameters | None = None,
     config: RunConfig | None = None,
     delta_hint: float | None = None,
-    session=None,
-    **overrides,
+    session: "DetectionSession | None" = None,
+    **overrides: object,
 ) -> RunReport:
     """Detect communities of ``graph`` with the named backend.
 
@@ -688,7 +692,7 @@ def _batched_runner(
     config: RunConfig,
     delta_hint: float | None,
     *,
-    session=None,
+    session: "DetectionSession | None" = None,
 ) -> BackendOutcome:
     if session is not None:
         return session._run_batched(params, config, delta_hint)
@@ -761,7 +765,7 @@ def _parallel_runner(
     config: RunConfig,
     delta_hint: float | None,
     *,
-    session=None,
+    session: "DetectionSession | None" = None,
 ) -> BackendOutcome:
     if config.num_communities is None:
         raise BackendError(
@@ -871,7 +875,7 @@ def _kmachine_runner(
 
 
 def _partition_detection(
-    partition, num_vertices: int, stop_reason: str
+    partition: Partition, num_vertices: int, stop_reason: str
 ) -> DetectionResult:
     """Wrap a baseline's disjoint partition as a :class:`DetectionResult`.
 

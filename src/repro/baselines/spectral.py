@@ -66,7 +66,7 @@ def spectral_clustering(
         # Degenerate: everything is isolated; put everything in one cluster.
         return SpectralResult(
             partition=Partition.single_community(n),
-            embedding=np.zeros((n, num_clusters)),
+            embedding=np.zeros((n, num_clusters), dtype=np.float64),
             inertia=0.0,
         )
 
@@ -88,7 +88,7 @@ def spectral_clustering(
             eigenvalues, eigenvectors = np.linalg.eigh(normalized.toarray())
             embedding = eigenvectors[:, np.argsort(eigenvalues)[::-1][:num_clusters]]
     if embedding.shape[1] < num_clusters:
-        padding = np.zeros((n, num_clusters - embedding.shape[1]))
+        padding = np.zeros((n, num_clusters - embedding.shape[1]), dtype=np.float64)
         embedding = np.hstack([embedding, padding])
 
     # Row-normalise the embedding (standard for normalised spectral clustering).

@@ -15,6 +15,11 @@ Reproduce Figure 3 with two trials per cell::
 Measure the k-machine scaling on a 1024-vertex PPM graph::
 
     python -m repro kmachine --n 1024 --machines 2 4 8 16
+
+Check the tree against the engine's coding invariants::
+
+    repro lint src tests
+    repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -248,6 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution tier (default: REPRO_EXECUTOR or thread)",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant checker (repro.analysis) over the tree",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
     process = subparsers.add_parser(
         "process",
         help="process-pool detection scaling: serial batched path vs the "
@@ -372,6 +393,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "detect":
         return _run_detect(arguments)
+
+    if arguments.command == "lint":
+        from .analysis import main as lint_main
+
+        lint_argv = list(arguments.paths)
+        if arguments.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_main(lint_argv)
 
     if arguments.command == "figure1":
         table = figure1_stats(n=arguments.n, num_blocks=arguments.blocks, seed=arguments.seed)

@@ -42,7 +42,10 @@ identical to the pre-registry behaviour.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..exceptions import AlgorithmError
 from ..graphs.graph import Graph
@@ -53,6 +56,9 @@ from .mixing_set import BatchedMixingSetSearch, LargestMixingSet
 from .parameters import CDRWParameters
 from .result import CommunityResult, DetectionResult
 from .stopping import GrowthStoppingRule
+
+if TYPE_CHECKING:
+    import scipy.sparse as sp
 
 __all__ = ["detect_community_batch", "detect_communities_batched"]
 
@@ -132,9 +138,9 @@ def _detect_community_batch_impl(
     *,
     capture_distributions: bool = False,
     workers: int | None = None,
-    dtype: np.dtype = np.float64,
+    dtype: DTypeLike = np.float64,
     capture_history: bool = True,
-    walk_operator=None,
+    walk_operator: "sp.csr_matrix | None" = None,
     search: BatchedMixingSetSearch | None = None,
 ) -> list[CommunityResult] | tuple[list[CommunityResult], np.ndarray]:
     """The batched multi-seed detection the ``"batched"`` backend executes.
@@ -334,10 +340,10 @@ def _detect_communities_batched_impl(
     batch_size: int = 8,
     seeds: list[int] | tuple[int, ...] | np.ndarray | None = None,
     workers: int | None = None,
-    dtype: np.dtype = np.float64,
+    dtype: DTypeLike = np.float64,
     capture_distributions: bool = False,
     capture_history: bool = True,
-    walk_operator=None,
+    walk_operator: "sp.csr_matrix | None" = None,
     search: BatchedMixingSetSearch | None = None,
 ) -> DetectionResult | tuple[DetectionResult, np.ndarray]:
     """The batched pool loop the ``"batched"`` backend executes.
@@ -392,7 +398,7 @@ def _pool_loop(
     rng: np.random.Generator,
     batch_size: int,
     max_seeds: int | None,
-    run_batch,
+    run_batch: Callable[[list[int]], list[CommunityResult]],
 ) -> list[CommunityResult]:
     """Algorithm 1's pool loop, batched: draw up to ``batch_size`` seeds per round.
 

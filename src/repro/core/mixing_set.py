@@ -24,13 +24,18 @@ asserted by integration tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..exceptions import AlgorithmError
 from ..execution import parallel_map_blocks, resolve_workers
 from ..graphs.graph import Graph
 from ..utils import GROWTH_FACTOR, MIXING_THRESHOLD, geometric_sizes, linear_sizes
+
+if TYPE_CHECKING:
+    from .parameters import CDRWParameters
 
 __all__ = [
     "MixingSetSearch",
@@ -135,7 +140,7 @@ class MixingSetSearch:
         schedule: str = "geometric",
         stop_at_first_failure: bool = False,
         min_mass: float | None = None,
-    ):
+    ) -> None:
         if initial_size < 1:
             raise AlgorithmError(f"initial size must be >= 1, got {initial_size}")
         if graph.num_vertices == 0:
@@ -273,7 +278,13 @@ class BatchedMixingSetSearch(MixingSetSearch):
     Tests assert closeness, never equality, for this path.
     """
 
-    def __init__(self, *args, workers: int | None = None, dtype=np.float64, **kwargs):
+    def __init__(
+        self,
+        *args: Any,
+        workers: int | None = None,
+        dtype: DTypeLike = np.float64,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self._dtype = np.dtype(dtype)
         if self._dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -301,10 +312,10 @@ class BatchedMixingSetSearch(MixingSetSearch):
     def from_parameters(
         cls,
         graph: Graph,
-        parameters,
+        parameters: "CDRWParameters",
         initial_size: int,
         workers: int | None = None,
-        dtype=np.float64,
+        dtype: DTypeLike = np.float64,
     ) -> "BatchedMixingSetSearch":
         """Build a batched search from a :class:`CDRWParameters` instance."""
         return cls(

@@ -27,6 +27,7 @@ even faster (by finding communities in parallel), assuming we know an
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,11 @@ from ..utils import as_rng
 from .batched import _detect_community_batch_impl
 from .parameters import CDRWParameters
 from .result import CommunityResult, DetectionResult
+
+if TYPE_CHECKING:
+    import scipy.sparse as sp
+
+    from .mixing_set import BatchedMixingSetSearch
 
 __all__ = ["select_spread_seeds", "detect_communities_parallel"]
 
@@ -165,8 +171,8 @@ def _detect_communities_parallel_impl(
     seed_min_distance: int = 2,
     workers: int | None = None,
     capture_history: bool = True,
-    walk_operator=None,
-    search=None,
+    walk_operator: "sp.csr_matrix | None" = None,
+    search: "BatchedMixingSetSearch | None" = None,
 ) -> DetectionResult:
     """The spread-seed shared-walk detection the ``"parallel"`` backend executes.
 

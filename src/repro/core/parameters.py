@@ -144,6 +144,6 @@ class CDRWParameters:
             value = graph_conductance_estimate(graph)
         return max(value, self.min_delta)
 
-    def with_overrides(self, **changes) -> "CDRWParameters":
+    def with_overrides(self, **changes: object) -> "CDRWParameters":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)

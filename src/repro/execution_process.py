@@ -204,7 +204,7 @@ class SharedGraph:
     the creator unlinks" contract of :func:`_attach_segment` holds.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph) -> None:
         indptr, indices, degrees = graph.csr_arrays()
         self._segments: list[shared_memory.SharedMemory] = []
         # Registered before the segments exist: _release_segments drains
@@ -240,7 +240,7 @@ class SharedGraph:
     def __enter__(self) -> "SharedGraph":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -331,7 +331,7 @@ class ProcessGraphPool:
         mp_context: multiprocessing.context.BaseContext | None = None,
         *,
         shared: SharedGraph | None = None,
-    ):
+    ) -> None:
         self.workers = resolve_workers(workers)
         self._owns_shared = shared is None
         self._shared = SharedGraph(graph) if shared is None else shared
@@ -469,7 +469,7 @@ class ProcessGraphPool:
     def __enter__(self) -> "ProcessGraphPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -31,7 +31,7 @@ asserts the two produce identical results.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -64,7 +64,9 @@ class Graph:
 
     __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges", "_adjacency_cache")
 
-    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] | np.ndarray):
+    def __init__(
+        self, num_vertices: int, edges: Iterable[tuple[int, int]] | np.ndarray
+    ) -> None:
         if num_vertices < 0:
             raise GraphError(f"number of vertices must be non-negative, got {num_vertices}")
         self._n = int(num_vertices)
@@ -238,7 +240,7 @@ class Graph:
         )
 
     @classmethod
-    def from_networkx(cls, nx_graph) -> "Graph":
+    def from_networkx(cls, nx_graph: Any) -> "Graph":
         """Convert a :mod:`networkx` graph whose nodes are ``0..n-1``."""
         nodes = sorted(nx_graph.nodes())
         expected = list(range(len(nodes)))
@@ -246,7 +248,7 @@ class Graph:
             raise GraphError("networkx graph nodes must be exactly 0..n-1")
         return cls(len(nodes), nx_graph.edges())
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Return a :class:`networkx.Graph` copy (for plotting / cross-checks)."""
         import networkx as nx
 

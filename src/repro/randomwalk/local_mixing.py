@@ -24,7 +24,7 @@ import numpy as np
 
 from ..exceptions import MixingError
 from ..graphs.graph import Graph
-from ..utils import MIXING_THRESHOLD
+from ..utils import MIXING_THRESHOLD, ceil_log2
 from .distribution import WalkDistribution
 from .stationary import restricted_stationary
 
@@ -149,7 +149,7 @@ def local_mixing_time(
     n = graph.num_vertices
     minimum_size = max(1, int(math.ceil(n / beta)))
     if max_steps is None:
-        max_steps = max(16, 4 * int(math.ceil(math.log2(max(n, 2)))) ** 2)
+        max_steps = max(16, 4 * ceil_log2(max(n, 2)) ** 2)
 
     explicit_sets: list[frozenset[int]] | None = None
     if candidate_sets is not None:

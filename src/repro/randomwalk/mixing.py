@@ -17,6 +17,7 @@ import numpy as np
 
 from ..exceptions import MixingError
 from ..graphs.graph import Graph
+from ..utils import ceil_log2
 from .distribution import WalkDistribution
 from .stationary import l1_distance, stationary_distribution
 from .transition import second_largest_eigenvalue
@@ -65,7 +66,7 @@ def mixing_time_from_source(
         raise MixingError("mixing time is undefined for graphs with no edges")
     n = graph.num_vertices
     if max_steps is None:
-        max_steps = max(16, 10 * int(math.ceil(math.log2(max(n, 2)))) ** 2)
+        max_steps = max(16, 10 * ceil_log2(max(n, 2)) ** 2)
 
     pi = stationary_distribution(graph)
     walk = WalkDistribution(graph, source, lazy=lazy)

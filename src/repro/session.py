@@ -50,6 +50,8 @@ front end layered on top is a ROADMAP follow-up).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -59,6 +61,10 @@ from .core.result import DetectionResult
 from .exceptions import BackendError
 from .execution import EXECUTOR_PROCESS, resolve_executor, resolve_workers
 from .graphs.graph import Graph
+
+if TYPE_CHECKING:
+    from .core.mixing_set import BatchedMixingSetSearch
+    from .execution_process import ProcessGraphPool, SharedGraph
 
 __all__ = ["DetectionSession"]
 
@@ -93,7 +99,7 @@ class DetectionSession:
         config: RunConfig | None = None,
         params: CDRWParameters | None = None,
         delta_hint: float | None = None,
-    ):
+    ) -> None:
         if not isinstance(graph, Graph):
             raise BackendError(
                 f"DetectionSession needs a Graph, got {type(graph).__name__}"
@@ -105,12 +111,12 @@ class DetectionSession:
         self._closed = False
         # Derived-state caches (thread tier; δ serves both tiers).
         self._operators: dict[bool, sp.csr_matrix] = {}
-        self._searches: dict[tuple, object] = {}
-        self._deltas: dict[tuple, float] = {}
+        self._searches: dict[tuple[object, ...], BatchedMixingSetSearch] = {}
+        self._deltas: dict[tuple[CDRWParameters, float | None], float] = {}
         self._stationary: np.ndarray | None = None
         # Process-tier residents.
-        self._shared = None
-        self._pool = None
+        self._shared: SharedGraph | None = None
+        self._pool: ProcessGraphPool | None = None
         # Observability counters surfaced through report metadata.
         self._calls = 0
         self._broadcasts = 0
@@ -134,13 +140,13 @@ class DetectionSession:
 
     def detect(
         self,
-        seeds=None,
+        seeds: Iterable[int] | None = None,
         backend: str = "batched",
         *,
         params: CDRWParameters | None = None,
         config: RunConfig | None = None,
         delta_hint: float | None = None,
-        **overrides,
+        **overrides: object,
     ) -> RunReport:
         """Run one detection through the facade with this session resident.
 
@@ -164,7 +170,7 @@ class DetectionSession:
             **overrides,
         )
 
-    def detect_batch(self, seeds, **overrides) -> RunReport:
+    def detect_batch(self, seeds: Iterable[int], **overrides: object) -> RunReport:
         """Coalesce many single-seed requests into one shard wave.
 
         Sets ``batch_size`` to the request width (unless overridden), so the
@@ -206,7 +212,7 @@ class DetectionSession:
     def __enter__(self) -> "DetectionSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -241,7 +247,9 @@ class DetectionSession:
         self._operators[lazy] = operator
         return operator, False
 
-    def _search(self, params: CDRWParameters, workers, dtype: np.dtype):
+    def _search(
+        self, params: CDRWParameters, workers: int | None, dtype: str | np.dtype
+    ) -> tuple[BatchedMixingSetSearch, bool]:
         """The batched mixing-set search for these knobs, cached.
 
         The search is stateless across calls (PR 2 contract); it is keyed by
@@ -283,7 +291,7 @@ class DetectionSession:
     # ------------------------------------------------------------------
     # Process-tier residents
     # ------------------------------------------------------------------
-    def _ensure_pool(self, workers) -> tuple[object, bool]:
+    def _ensure_pool(self, workers: int | None) -> tuple[ProcessGraphPool, bool]:
         """The persistent worker pool, broadcasting the graph at most once.
 
         A worker-count change rebuilds only the executor; the shared-memory
@@ -306,7 +314,7 @@ class DetectionSession:
     # ------------------------------------------------------------------
     # Backend entry points (called by the api runners when session= is set)
     # ------------------------------------------------------------------
-    def _session_extras(self, **flags) -> dict[str, object]:
+    def _session_extras(self, **flags: object) -> dict[str, object]:
         extras: dict[str, object] = {
             "session_calls": self._calls,
             "session_broadcasts": self._broadcasts,
