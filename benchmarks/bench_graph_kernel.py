@@ -30,6 +30,14 @@ Measures, on a 1M-edge random graph:
   the serial in-process path against the shared-memory process tier
   (:mod:`repro.execution_process`) at ``workers ∈ {1, 2, 4}`` processes;
   detections are identical on every row, only the wall clock moves;
+* **storage tiers** — the 32-seed detection once more on the same graph
+  read back from a memmapped binary CSR file (``memmap_detect_s``), gated
+  on producing the exact in-RAM detection;
+* **sharded executor** — the same detection through the ``"sharded"``
+  backend at ``workers ∈ {1, 2, 4}`` shard processes, each holding only its
+  vertex partition's operator rows; detections must equal the serial rows
+  exactly, and the boundary traffic of the k=4 run is archived
+  (``sharded_boundary_bytes``);
 * **resident session** — a stream of small detection requests on the same
   graph answered once with a fresh ``detect()`` per request (each paying
   the broadcast + pool fork + operator build) and once through a single
@@ -57,6 +65,7 @@ import functools
 import json
 import os
 import platform
+import tempfile
 import time
 
 import numpy as np
@@ -65,7 +74,13 @@ import pytest
 from repro.api import RunConfig, detect
 from repro.core import BatchedMixingSetSearch, MixingSetSearch
 from repro.core.parallel import select_spread_seeds
-from repro.graphs import Graph, planted_partition_graph, ppm_expected_conductance
+from repro.graphs import (
+    Graph,
+    planted_partition_graph,
+    ppm_expected_conductance,
+    read_csr_graph,
+    write_csr_graph,
+)
 from repro.graphs.reference import (
     scalar_csr_arrays,
     scalar_cut_size,
@@ -320,6 +335,44 @@ def run_benchmark() -> dict[str, float]:
         if workers > 1
     )
 
+    # -- storage tiers: the same detection on a memmapped CSR file ------
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        csr_path = os.path.join(tmp, "bench.csr")
+        write_csr_graph(process_ppm.graph, csr_path)
+        mapped_graph = read_csr_graph(csr_path)
+        start = time.perf_counter()
+        mapped_report = detect(
+            mapped_graph,
+            backend="batched",
+            delta_hint=process_delta,
+            config=RunConfig(seeds=process_seeds),
+        )
+        results["memmap_detect_s"] = time.perf_counter() - start
+    results["memmap_identical"] = float(
+        mapped_report.detection == baseline_report.detection
+    )
+
+    # -- sharded executor (row-partitioned walk, one shard per process) --
+    sharded_identical = 1.0
+    boundary_bytes = 0.0
+    for workers in PROCESS_WORKER_COUNTS:
+        start = time.perf_counter()
+        report = detect(
+            process_ppm.graph,
+            backend="sharded",
+            delta_hint=process_delta,
+            config=RunConfig(seeds=process_seeds, workers=workers),
+        )
+        results[f"sharded_workers{workers}_s"] = time.perf_counter() - start
+        if report.detection != baseline_report.detection:
+            sharded_identical = 0.0
+        exchange = report.metadata.get("exchange", {})
+        boundary_bytes = float(exchange.get("boundary_bytes", 0))
+    results["sharded_identical"] = sharded_identical
+    # Boundary traffic of the widest run (workers = 4): what a real
+    # deployment would put on the wire for this detection.
+    results["sharded_boundary_bytes"] = boundary_bytes
+
     # -- resident session (amortised broadcast / pool / operator setup) --
     session_rng = np.random.default_rng(9)
     session_requests = [
@@ -420,6 +473,19 @@ def print_workers_table(results: dict[str, float]) -> None:
         f"{'(process serial baseline)':26s}{results['process_serial_s']:15.4f} "
         f"identical={results['process_identical']:.0f}"
     )
+    sharded = "".join(
+        f"{results[f'sharded_workers{w}_s']:15.4f}" for w in PROCESS_WORKER_COUNTS
+    )
+    print(
+        f"{'sharded detect (k shards)':26s}{sharded} "
+        f"identical={results['sharded_identical']:.0f}"
+    )
+    print(
+        f"memmapped CSR detect: {results['memmap_detect_s']:.4f}s "
+        f"(identical={results['memmap_identical']:.0f}); "
+        f"sharded boundary traffic at k=4: "
+        f"{results['sharded_boundary_bytes'] / 1e6:.2f} MB"
+    )
     print(
         f"resident session ({SESSION_REPEATS} requests x {SESSION_SEEDS_PER_CALL} "
         f"seeds, workers={SESSION_WORKERS}): "
@@ -505,6 +571,21 @@ def test_process_executor_speedup_at_least_1_5x():
     """Acceptance: the shared-memory process pool must scale on >= 4-core hosts."""
     results = run_benchmark()
     assert results["process_speedup"] >= PROCESS_REQUIRED_SPEEDUP, results
+
+
+@pytest.mark.perf
+def test_memmap_detection_identical_to_in_ram():
+    """A detection on the memmapped CSR file must equal the in-RAM one exactly."""
+    results = run_benchmark()
+    assert results["memmap_identical"] == 1.0, results
+
+
+@pytest.mark.perf
+def test_sharded_detections_identical_to_serial():
+    """The sharded executor must reproduce the serial detections at every k."""
+    results = run_benchmark()
+    assert results["sharded_identical"] == 1.0, results
+    assert results["sharded_boundary_bytes"] > 0.0, results
 
 
 @pytest.mark.perf
@@ -603,6 +684,10 @@ def main(argv: list[str] | None = None) -> None:
         failed.append("64-column mixing search")
     if table["process_identical"] != 1.0:
         failed.append("process-tier detection identity")
+    if table["memmap_identical"] != 1.0:
+        failed.append("memmapped-storage detection identity")
+    if table["sharded_identical"] != 1.0:
+        failed.append("sharded-executor detection identity")
     if table["session_identical"] != 1.0 or table["session_broadcasts"] != 1.0:
         failed.append("resident-session identity/broadcast")
     multicore = (os.cpu_count() or 1) >= 2

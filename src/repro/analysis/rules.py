@@ -26,6 +26,9 @@ The shipped rules:
             kernel packages must pass an explicit ``dtype=``.
 ``REP106``  Picklable worker tasks — callables handed to a pool
             ``.submit()`` must be module-level (no lambdas, no closures).
+``REP107``  Storage-layer confinement — ``SharedMemory`` and
+            ``np.memmap`` construction lives in ``graphs/storage.py``
+            only; everything else goes through the storage backends.
 ========  ===========================================================
 """
 
@@ -391,9 +394,11 @@ class SharedMemoryFinalizerRule(Rule):
 _IMPL_NAME_RE = re.compile(r"^_\w*_impl$")
 
 #: Engine-internal modules allowed to bypass the facade: the facade itself,
-#: the resident session, the process tier, and the core package the
-#: implementations live in.
-_ENGINE_FILES = frozenset({"api.py", "session.py", "execution_process.py"})
+#: the resident session, the process and sharded tiers, and the core
+#: package the implementations live in.
+_ENGINE_FILES = frozenset(
+    {"api.py", "session.py", "execution_process.py", "execution_sharded.py"}
+)
 _ENGINE_PACKAGES = ("core",)
 
 
@@ -569,6 +574,90 @@ class PicklableTaskRule(Rule):
 
         visit(tree, False)
         return frozenset(nested)
+
+
+# ----------------------------------------------------------------------
+# REP107 — storage-layer confinement
+# ----------------------------------------------------------------------
+#: The one module allowed to construct raw storage primitives.
+_STORAGE_FILE = "storage.py"
+_STORAGE_PACKAGE = "graphs"
+
+
+@register_rule
+class StorageLayerRule(Rule):
+    """Raw storage primitives are constructed only in ``graphs/storage.py``.
+
+    The storage-backend abstraction exists so that exactly one module owns
+    the failure modes of raw segments and mappings: finalizer-based unlink
+    (REP103), the bpo-39959 tracker opt-out, zero-length mapping fallbacks,
+    read-only pinning.  A ``SharedMemory(...)`` or ``np.memmap(...)`` call
+    anywhere else re-opens those holes one at a time — the pre-abstraction
+    ``execution_process.py`` carried all of them privately.  Everything
+    outside the storage module goes through :class:`SharedCSRStorage`,
+    :class:`MemmapStorage` or ``Graph`` construction (which routes through
+    :func:`repro.graphs.storage.storage_from_arrays`).
+    """
+
+    code = "REP107"
+    name = "storage-layer"
+    summary = (
+        "SharedMemory/np.memmap construction is confined to "
+        "graphs/storage.py; use the storage backends"
+    )
+    include_tests = False
+
+    def applies_to(self, context: FileContext) -> bool:
+        if not super().applies_to(context):
+            return False
+        directories = context.parts[:-1]
+        if (
+            context.parts[-1] == _STORAGE_FILE
+            and _STORAGE_PACKAGE in directories
+        ):
+            return False
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        # Only Call nodes: annotations and docstrings naming the types
+        # (e.g. a handle dataclass typed `SharedMemory`) are not leaks.
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if self._is_shared_memory(func):
+                yield self.report(
+                    context,
+                    node,
+                    "SharedMemory construction outside graphs/storage.py; "
+                    "allocate through SharedCSRStorage (storage backend)",
+                )
+            elif self._is_memmap(func):
+                yield self.report(
+                    context,
+                    node,
+                    "np.memmap construction outside graphs/storage.py; map "
+                    "files through MemmapStorage / read_csr_graph",
+                )
+
+    @staticmethod
+    def _is_shared_memory(func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "SharedMemory"
+        return isinstance(func, ast.Attribute) and func.attr == "SharedMemory"
+
+    @staticmethod
+    def _is_memmap(func: ast.AST) -> bool:
+        # numpy.lib.format.open_memmap is the other public mapping
+        # constructor, imported bare or called through the module path.
+        if isinstance(func, ast.Name):
+            return func.id == "open_memmap"
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr == "memmap":
+            value = func.value
+            return isinstance(value, ast.Name) and value.id in _NUMPY_ALIASES
+        return func.attr == "open_memmap"
 
 
 def rule_table() -> Sequence[tuple[str, str, str]]:

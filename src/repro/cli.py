@@ -92,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect_parser.add_argument("--n", type=int, default=1024, help="PPM vertices")
     detect_parser.add_argument("--blocks", type=int, default=2, help="PPM blocks r")
+    detect_parser.add_argument(
+        "--graph-file",
+        default=None,
+        metavar="PATH",
+        help="detect on a graph file instead of a generated PPM: .csr binary "
+        "(memmapped), .json (ground-truth partition used for f_score), plain "
+        "or SNAP-style edge list (# comments, arbitrary ids, .gz accepted)",
+    )
+    detect_parser.add_argument(
+        "--storage",
+        choices=["dense", "shm", "memmap"],
+        default=None,
+        help="storage backend for --graph-file CSR files (default: memmap)",
+    )
     detect_parser.add_argument("--batch-size", type=int, default=8)
     detect_parser.add_argument(
         "--workers",
@@ -269,6 +283,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="diff two archived benchmark JSON runs "
+        "(bench_graph_kernel.py --json) and flag regressions",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        required=True,
+        help="archived benchmark JSON files: the baseline and the current run",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative worsening tolerated on timing/speedup keys "
+        "(default 0.2 = 20%%; identity keys always compare exact)",
+    )
+    bench.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every compared key, not only regressions",
+    )
+
     process = subparsers.add_parser(
         "process",
         help="process-pool detection scaling: serial batched path vs the "
@@ -304,11 +343,46 @@ def _run_detect(arguments: argparse.Namespace) -> int:
         print(f"repro detect: {error}", file=sys.stderr)
         return 2
 
-    n, blocks = arguments.n, arguments.blocks
-    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
-    q = 0.6 / n
-    ppm = planted_partition_graph(n, blocks, p, q, seed=arguments.seed)
-    delta = ppm_expected_conductance(n, blocks, p, q)
+    if arguments.storage is not None and arguments.graph_file is None:
+        print(
+            "repro detect: --storage only applies to --graph-file input",
+            file=sys.stderr,
+        )
+        return 2
+
+    blocks = arguments.blocks
+    if arguments.graph_file is not None:
+        from pathlib import Path
+
+        from .exceptions import GraphError
+        from .graphs import load_graph_file
+
+        try:
+            graph, truth, info = load_graph_file(
+                Path(arguments.graph_file), storage=arguments.storage
+            )
+        except (OSError, GraphError) as error:
+            print(f"repro detect: {error}", file=sys.stderr)
+            return 2
+        # File graphs carry no analytic conductance; let the engine resolve
+        # δ from the graph itself unless a ground-truth partition rode along.
+        delta = None
+        graph_line = (
+            f"  graph: {arguments.graph_file} ({info['format']}, "
+            f"storage={graph.storage_kind}) n={graph.num_vertices}, "
+            f"m={graph.num_edges}"
+        )
+    else:
+        n = arguments.n
+        p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+        q = 0.6 / n
+        ppm = planted_partition_graph(n, blocks, p, q, seed=arguments.seed)
+        graph, truth = ppm.graph, ppm.partition
+        delta = ppm_expected_conductance(n, blocks, p, q)
+        graph_line = (
+            f"  graph: PPM n={n}, r={blocks}, m={graph.num_edges} "
+            f"(p={p:.4f}, q={q:.6f})"
+        )
     config = RunConfig(
         seed=arguments.seed,
         max_seeds=arguments.max_seeds,
@@ -334,13 +408,13 @@ def _run_detect(arguments: argparse.Namespace) -> int:
     try:
         if repeats is None:
             report = detect(
-                ppm.graph, backend=arguments.backend, config=config, delta_hint=delta
+                graph, backend=arguments.backend, config=config, delta_hint=delta
             )
         else:
             from .session import DetectionSession
 
             with DetectionSession(
-                ppm.graph, config=config, delta_hint=delta
+                graph, config=config, delta_hint=delta
             ) as session:
                 reports = [
                     session.detect(backend=arguments.backend) for _ in range(repeats)
@@ -366,12 +440,14 @@ def _run_detect(arguments: argparse.Namespace) -> int:
 
     detection = report.detection
     print(f"detect: backend={report.backend}")
-    print(f"  graph: PPM n={n}, r={blocks}, m={ppm.graph.num_edges} (p={p:.4f}, q={q:.6f})")
-    print(
+    print(graph_line)
+    result_line = (
         f"  result: {detection.num_communities} communities, "
-        f"coverage {detection.coverage():.1%}, "
-        f"f_score {average_f_score(detection, ppm.partition):.3f}"
+        f"coverage {detection.coverage():.1%}"
     )
+    if truth is not None:
+        result_line += f", f_score {average_f_score(detection, truth):.3f}"
+    print(result_line)
     print(f"  wall clock: {report.timings['total_seconds']:.3f} s")
     if session_line is not None:
         print(session_line)
@@ -386,6 +462,24 @@ def _run_detect(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(arguments: argparse.Namespace) -> int:
+    """Execute the ``repro bench --compare`` subcommand."""
+    from .benchcompare import DEFAULT_THRESHOLD, compare_files, render_comparison
+    from .exceptions import ReproError
+
+    threshold = (
+        arguments.threshold if arguments.threshold is not None else DEFAULT_THRESHOLD
+    )
+    old_path, new_path = arguments.compare
+    try:
+        comparison = compare_files(old_path, new_path, threshold=threshold)
+    except (OSError, ReproError) as error:
+        print(f"repro bench: {error}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison, verbose=arguments.verbose))
+    return 0 if comparison.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` command; returns a process exit code."""
     parser = build_parser()
@@ -393,6 +487,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "detect":
         return _run_detect(arguments)
+
+    if arguments.command == "bench":
+        return _run_bench(arguments)
 
     if arguments.command == "lint":
         from .analysis import main as lint_main

@@ -50,12 +50,10 @@ from __future__ import annotations
 
 import sys
 import time
-import weakref
 from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 import multiprocessing
-from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -63,6 +61,7 @@ from .core.parameters import CDRWParameters
 from .core.result import CommunityResult, DetectionResult
 from .exceptions import AlgorithmError, ReproError
 from .graphs.graph import Graph
+from .graphs.storage import AttachedCSR, SharedCSRHandle, SharedCSRStorage
 from .utils import as_rng
 
 from .core.batched import _detect_community_batch_impl, _pool_loop
@@ -100,148 +99,28 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
 # ----------------------------------------------------------------------
 # Shared-memory graph broadcast
 # ----------------------------------------------------------------------
-def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach an existing segment (cleanup stays with the creator).
-
-    ``SharedMemory(name=...)`` re-registers the segment with the resource
-    tracker even on pure attach (bpo-39959).  Pool workers — fork or spawn —
-    inherit the *parent's* tracker process, whose registry is a per-name
-    set, so the extra registrations collapse into the creator's entry and
-    the creator's ``unlink`` (in :meth:`SharedGraph.close`) retires it;
-    explicitly unregistering here would instead strip the shared entry out
-    from under the creator.  Only :class:`SharedGraph` may unlink.
-    """
-    return shared_memory.SharedMemory(name=name)
+# The segment machinery lives in the storage layer now
+# (:mod:`repro.graphs.storage`): broadcasting a graph is just materializing
+# its CSR arrays on the ``shm`` storage backend, which also serves
+# ``REPRO_STORAGE=shm`` graph construction.  The historical names are kept
+# as aliases so the session and the tests keep reading naturally.
+AttachedGraph = AttachedCSR
+SharedGraphHandle = SharedCSRHandle
 
 
-@dataclass
-class AttachedGraph:
-    """A worker-side view of a broadcast graph plus the segments backing it.
-
-    The :class:`Graph` arrays alias the shared segments directly, so the
-    segments must stay open for the graph's lifetime; :meth:`close` detaches
-    them (the creator, not the attacher, unlinks).
-    """
-
-    graph: Graph
-    segments: tuple[shared_memory.SharedMemory, ...]
-
-    def close(self) -> None:
-        for segment in self.segments:
-            segment.close()
-
-
-@dataclass(frozen=True)
-class SharedGraphHandle:
-    """A picklable descriptor of a broadcast graph: segment names and shapes.
-
-    This is the only graph-related object that crosses the process boundary;
-    :meth:`attach` rebuilds the full :class:`Graph` in the attaching process
-    with zero copies (the CSR arrays are ndarray views over the mapped
-    segments, adopted by :meth:`Graph.from_csr` as-is).
-    """
-
-    num_vertices: int
-    num_arcs: int
-    indptr_name: str
-    indices_name: str
-    degrees_name: str
-
-    def attach(self) -> AttachedGraph:
-        """Map the segments and return the reconstructed read-only graph."""
-        segments: list[shared_memory.SharedMemory] = []
-        try:
-            arrays = []
-            for name, shape in (
-                (self.indptr_name, (self.num_vertices + 1,)),
-                (self.indices_name, (self.num_arcs,)),
-                (self.degrees_name, (self.num_vertices,)),
-            ):
-                segment = _attach_segment(name)
-                segments.append(segment)
-                arrays.append(np.ndarray(shape, dtype=np.int64, buffer=segment.buf))
-            indptr, indices, degrees = arrays
-            graph = Graph.from_csr(
-                self.num_vertices, indptr, indices, degrees=degrees, validate=False
-            )
-        except BaseException:
-            for segment in segments:
-                segment.close()
-            raise
-        return AttachedGraph(graph=graph, segments=tuple(segments))
-
-
-def _release_segments(segments: list[shared_memory.SharedMemory]) -> None:
-    """Detach and unlink every segment in ``segments``, consuming the list.
-
-    Shared by :meth:`SharedGraph.close` and the :func:`weakref.finalize`
-    guard; popping from the one list both call with makes the release
-    idempotent regardless of which path runs first.
-    """
-    while segments:
-        segment = segments.pop()
-        try:
-            segment.close()
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
-
-
-class SharedGraph:
+class SharedGraph(SharedCSRStorage):
     """Parent-side owner of a graph broadcast into shared memory.
 
-    Creates one segment per CSR array, copies the data in once, and exposes
-    the picklable :attr:`handle` workers attach to.  The owner is
-    responsible for the segments' lifetime: :meth:`close` detaches *and
-    unlinks* them (idempotent).  Usable as a context manager.
-
-    A :func:`weakref.finalize` guard backs :meth:`close`: if the owner is
-    garbage-collected or the interpreter exits without ``close()`` having
-    run (e.g. the owner died between broadcast and cleanup), the segments
-    are still unlinked.  ``finalize`` fires at most once and ``close()``
-    invokes the same finalizer, so there is no double-unlink; forked pool
-    workers exit via ``os._exit`` and never run finalizers, so the "only
-    the creator unlinks" contract of :func:`_attach_segment` holds.
+    A thin :class:`Graph`-taking constructor over
+    :class:`~repro.graphs.storage.SharedCSRStorage`, which owns the segment
+    creation, the picklable :attr:`handle` and the
+    :func:`weakref.finalize`-backed unlink guarantee (see its docstring for
+    the lifetime contract).
     """
 
     def __init__(self, graph: Graph) -> None:
         indptr, indices, degrees = graph.csr_arrays()
-        self._segments: list[shared_memory.SharedMemory] = []
-        # Registered before the segments exist: _release_segments drains
-        # whatever the shared list holds at fire time, so a partially
-        # constructed broadcast is cleaned up too.
-        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
-        try:
-            names = [self._create_and_fill(array) for array in (indptr, indices, degrees)]
-        except BaseException:
-            self.close()
-            raise
-        self.handle = SharedGraphHandle(
-            num_vertices=graph.num_vertices,
-            num_arcs=len(indices),
-            indptr_name=names[0],
-            indices_name=names[1],
-            degrees_name=names[2],
-        )
-
-    def _create_and_fill(self, array: np.ndarray) -> str:
-        # Zero-byte segments are rejected by the OS; an empty array still
-        # gets a 1-byte segment (the handle's shapes carry the real lengths).
-        segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
-        self._segments.append(segment)
-        view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
-        view[...] = array
-        return segment.name
-
-    def close(self) -> None:
-        """Detach and unlink every segment (safe to call more than once)."""
-        self._finalizer()
-
-    def __enter__(self) -> "SharedGraph":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        super().__init__(graph.num_vertices, indptr, indices, degrees)
 
 
 # ----------------------------------------------------------------------

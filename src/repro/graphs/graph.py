@@ -31,12 +31,15 @@ asserts the two produce identical results.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import GraphError
+
+if TYPE_CHECKING:
+    from .storage import CSRStorage
 
 __all__ = ["Graph"]
 
@@ -62,7 +65,15 @@ class Graph:
     centralized executor, the CONGEST simulator and the k-machine simulator.
     """
 
-    __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges", "_adjacency_cache")
+    __slots__ = (
+        "_n",
+        "_indptr",
+        "_indices",
+        "_degrees",
+        "_num_edges",
+        "_adjacency_cache",
+        "_storage",
+    )
 
     def __init__(
         self, num_vertices: int, edges: Iterable[tuple[int, int]] | np.ndarray
@@ -83,6 +94,13 @@ class Graph:
         structure is kept.  Roughly two orders of magnitude faster than the
         original one-tuple-at-a-time set loop on million-edge inputs
         (see ``benchmarks/bench_graph_kernel.py``).
+
+        The finished arrays are handed to the resolved storage backend
+        (:mod:`repro.graphs.storage`): ``dense`` pins them read-only in RAM
+        (the default, no copy), ``shm``/``memmap`` move them into shared
+        segments or a disk-backed mapping.  The ``REPRO_STORAGE`` variable
+        selects the backend process-wide; every kernel reads the arrays
+        through the same read-only views regardless.
         """
         n = self._n
         if edge_array.size:
@@ -107,19 +125,25 @@ class Graph:
             ).tocsr()
             adjacency.sort_indices()
             self._num_edges = int(adjacency.nnz) // 2
-            self._indptr = adjacency.indptr.astype(np.int64)
-            self._indices = adjacency.indices.astype(np.int64)
-            self._degrees = np.diff(self._indptr)
-            # Only the structure is kept (the data values are duplicate
-            # multiplicities); adjacency_matrix() rebuilds a ones-data matrix
-            # lazily for the graphs that actually need it.
-            self._adjacency_cache: sp.csr_matrix | None = None
+            indptr = adjacency.indptr.astype(np.int64)
+            indices = adjacency.indices.astype(np.int64)
+            degrees = np.diff(indptr)
         else:
             self._num_edges = 0
-            self._indices = np.empty(0, dtype=np.int64)
-            self._indptr = np.zeros(n + 1, dtype=np.int64)
-            self._degrees = np.zeros(n, dtype=np.int64)
-            self._adjacency_cache = None
+            indices = np.empty(0, dtype=np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            degrees = np.zeros(n, dtype=np.int64)
+        # Imported lazily: storage.py needs Graph for the shm attach path,
+        # so a module-level import here would be circular.
+        from .storage import resolve_storage, storage_from_arrays
+
+        storage = storage_from_arrays(resolve_storage(None), n, indptr, indices, degrees)
+        self._indptr, self._indices, self._degrees = storage.arrays()
+        self._storage = storage
+        # Only the structure is kept (the data values are duplicate
+        # multiplicities); adjacency_matrix() rebuilds a ones-data matrix
+        # lazily for the graphs that actually need it.
+        self._adjacency_cache: sp.csr_matrix | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -165,6 +189,7 @@ class Graph:
         *,
         degrees: np.ndarray | None = None,
         validate: bool = True,
+        storage: "CSRStorage | None" = None,
     ) -> "Graph":
         """Build a graph directly from prebuilt CSR adjacency arrays.
 
@@ -180,6 +205,11 @@ class Graph:
         ``validate=False`` skips the structural checks; reserve it for arrays
         that provably came out of another :class:`Graph` (e.g. a
         shared-memory broadcast of one).
+
+        ``storage`` optionally attaches the
+        :class:`~repro.graphs.storage.CSRStorage` whose resources back the
+        arrays — a mapped ``.csr`` file, attached shared-memory segments —
+        so the backing stays alive (and is released) with the graph.
         """
         if num_vertices < 0:
             raise GraphError(f"number of vertices must be non-negative, got {num_vertices}")
@@ -226,6 +256,7 @@ class Graph:
         graph._degrees = _readonly_view(degrees)
         graph._num_edges = len(indices) // 2
         graph._adjacency_cache = None
+        graph._storage = storage
         return graph
 
     def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -274,6 +305,18 @@ class Graph:
     def volume(self) -> int:
         """The volume of the full vertex set, ``µ(V) = 2m``."""
         return 2 * self._num_edges
+
+    @property
+    def storage_kind(self) -> str:
+        """Which storage backend holds the CSR arrays (see :mod:`.storage`).
+
+        Arrays adopted through :meth:`from_csr` without an explicit storage
+        object report ``"dense"`` — they are plain in-RAM arrays from this
+        graph's point of view, whoever owns them.
+        """
+        if self._storage is None:
+            return "dense"
+        return self._storage.kind
 
     def vertices(self) -> range:
         """Return the vertex range ``0..n-1``."""

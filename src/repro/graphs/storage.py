@@ -1,0 +1,437 @@
+"""Pluggable storage backends for the CSR arrays of a :class:`Graph`.
+
+:class:`~repro.graphs.graph.Graph` is a *view* over three int64 arrays —
+``indptr`` / ``indices`` / ``degrees`` — and every kernel in the library
+reaches them only through :meth:`~repro.graphs.graph.Graph.csr_arrays` /
+:meth:`~repro.graphs.graph.Graph.from_csr`.  This module is the one place
+that decides **where those arrays live**:
+
+``dense``
+    Ordinary in-RAM numpy arrays (the default).  Zero overhead; the storage
+    object only pins the arrays read-only.
+``shm``
+    :mod:`multiprocessing.shared_memory` segments.  This is the broadcast
+    path of the process execution tier: the owner copies the arrays into
+    named segments once and hands workers a picklable
+    :class:`SharedCSRHandle`; each worker maps the segments and rebuilds the
+    graph through the zero-copy ``from_csr`` interchange.
+``memmap``
+    A disk-backed CSR file (the ``.csr`` format of :mod:`repro.graphs.io`)
+    mapped read-only with :class:`numpy.memmap`, so graphs larger than RAM
+    stream from the page cache instead of living on the heap.
+
+``resolve_storage`` follows the same ``None`` → environment → default
+cascade as :func:`repro.execution.resolve_workers`: the ``REPRO_STORAGE``
+variable routes *every* graph construction through a backend, which is how
+CI runs the full test suite with the graph on memmap storage without a
+single test changing.
+
+All backends return **read-only** arrays.  Kernels never write into graph
+storage (a memmap precondition), and the read-only flag turns any future
+violation into an immediate ``ValueError`` instead of silent corruption.
+
+Lint rule REP107 (:mod:`repro.analysis.rules`) confines ``SharedMemory``
+and ``np.memmap`` construction to this module, so no other layer can grow a
+private storage path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import Graph
+
+__all__ = [
+    "STORAGE_DENSE",
+    "STORAGE_SHM",
+    "STORAGE_MEMMAP",
+    "STORAGE_ENV_VAR",
+    "resolve_storage",
+    "CSRStorage",
+    "DenseStorage",
+    "SharedCSRStorage",
+    "SharedCSRHandle",
+    "AttachedCSR",
+    "MemmapStorage",
+    "storage_from_arrays",
+]
+
+STORAGE_ENV_VAR = "REPRO_STORAGE"
+
+STORAGE_DENSE = "dense"
+STORAGE_SHM = "shm"
+STORAGE_MEMMAP = "memmap"
+
+_STORAGE_KINDS = (STORAGE_DENSE, STORAGE_SHM, STORAGE_MEMMAP)
+
+
+def resolve_storage(storage: str | None = None) -> str:
+    """Resolve a storage-backend name to ``dense`` / ``shm`` / ``memmap``.
+
+    ``None`` falls back to the ``REPRO_STORAGE`` environment variable and
+    then to ``dense`` — the same cascade :func:`repro.execution.resolve_workers`
+    uses for the thread count, so one exported variable reroutes every graph
+    construction in a process (CI uses this for the memmap test leg).
+    """
+    if storage is None:
+        storage = os.environ.get(STORAGE_ENV_VAR, "").strip() or STORAGE_DENSE
+    name = storage.lower()
+    if name not in _STORAGE_KINDS:
+        raise GraphError(
+            f"unknown graph storage backend {storage!r}; "
+            f"expected one of {', '.join(_STORAGE_KINDS)}"
+        )
+    return name
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` itself read-only and return it (backends own their arrays)."""
+    array.flags.writeable = False
+    return array
+
+
+class CSRStorage:
+    """Base class of the storage backends: a home for three read-only arrays.
+
+    Subclasses implement :meth:`arrays` (returning ``(indptr, indices,
+    degrees)`` with ``writeable=False``) and :meth:`close` (releasing
+    whatever OS resource backs them — a no-op for plain RAM).  Instances are
+    usable as context managers; :class:`Graph` keeps its storage alive for
+    the graph's lifetime via the ``_storage`` slot.
+    """
+
+    kind: str = "abstract"
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the backing resource (idempotent; default no-op)."""
+
+    def __enter__(self) -> "CSRStorage":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class DenseStorage(CSRStorage):
+    """Plain in-RAM arrays — the default backend, with zero indirection.
+
+    The constructor takes ownership of the arrays and pins them read-only in
+    place (no copy), so a freshly built CSR costs nothing extra to wrap.
+    """
+
+    kind = STORAGE_DENSE
+
+    def __init__(
+        self, num_vertices: int, indptr: np.ndarray, indices: np.ndarray, degrees: np.ndarray
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.num_arcs = len(indices)
+        self._arrays = tuple(_readonly(array) for array in (indptr, indices, degrees))
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        indptr, indices, degrees = self._arrays
+        return indptr, indices, degrees
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments (the process tier's broadcast path)
+# ----------------------------------------------------------------------
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment (cleanup stays with the creator).
+
+    ``SharedMemory(name=...)`` re-registers the segment with the resource
+    tracker even on pure attach (bpo-39959).  Pool workers — fork or spawn —
+    inherit the *parent's* tracker process, whose registry is a per-name
+    set, so the extra registrations collapse into the creator's entry and
+    the creator's ``unlink`` (in :meth:`SharedCSRStorage.close`) retires it;
+    explicitly unregistering here would instead strip the shared entry out
+    from under the creator.  Only :class:`SharedCSRStorage` may unlink.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _release_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    """Detach and unlink every segment in ``segments``, consuming the list.
+
+    Shared by :meth:`SharedCSRStorage.close` and the :func:`weakref.finalize`
+    guard; popping from the one list both call with makes the release
+    idempotent regardless of which path runs first.
+    """
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+@dataclass
+class AttachedCSR(CSRStorage):
+    """A worker-side view of broadcast CSR arrays plus the segments backing it.
+
+    The :class:`Graph` arrays alias the shared segments directly, so the
+    segments must stay open for the graph's lifetime; :meth:`close` detaches
+    them (the creator, not the attacher, unlinks).
+    """
+
+    graph: Graph
+    segments: tuple[shared_memory.SharedMemory, ...]
+
+    kind = STORAGE_SHM
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.graph.csr_arrays()
+
+    def close(self) -> None:
+        for segment in self.segments:
+            segment.close()
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """A picklable descriptor of a broadcast graph: segment names and shapes.
+
+    This is the only graph-related object that crosses the process boundary;
+    :meth:`attach` rebuilds the full :class:`Graph` in the attaching process
+    with zero copies (the CSR arrays are ndarray views over the mapped
+    segments, adopted by :meth:`Graph.from_csr` as-is).
+    """
+
+    num_vertices: int
+    num_arcs: int
+    indptr_name: str
+    indices_name: str
+    degrees_name: str
+
+    def attach(self) -> AttachedCSR:
+        """Map the segments and return the reconstructed read-only graph."""
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            arrays = []
+            for name, shape in (
+                (self.indptr_name, (self.num_vertices + 1,)),
+                (self.indices_name, (self.num_arcs,)),
+                (self.degrees_name, (self.num_vertices,)),
+            ):
+                segment = _attach_segment(name)
+                segments.append(segment)
+                arrays.append(np.ndarray(shape, dtype=np.int64, buffer=segment.buf))
+            indptr, indices, degrees = arrays
+            graph = Graph.from_csr(
+                self.num_vertices, indptr, indices, degrees=degrees, validate=False
+            )
+        except BaseException:
+            for segment in segments:
+                segment.close()
+            raise
+        return AttachedCSR(graph=graph, segments=tuple(segments))
+
+
+class SharedCSRStorage(CSRStorage):
+    """Parent-side owner of CSR arrays broadcast into shared memory.
+
+    Creates one segment per array, copies the data in once, and exposes the
+    picklable :attr:`handle` workers attach to.  The owner is responsible
+    for the segments' lifetime: :meth:`close` detaches *and unlinks* them
+    (idempotent).  Usable as a context manager.
+
+    A :func:`weakref.finalize` guard backs :meth:`close`: if the owner is
+    garbage-collected or the interpreter exits without ``close()`` having
+    run (e.g. the owner died between broadcast and cleanup), the segments
+    are still unlinked.  ``finalize`` fires at most once and ``close()``
+    invokes the same finalizer, so there is no double-unlink; forked pool
+    workers exit via ``os._exit`` and never run finalizers, so the "only
+    the creator unlinks" contract of :func:`_attach_segment` holds.
+    """
+
+    kind = STORAGE_SHM
+
+    def __init__(
+        self, num_vertices: int, indptr: np.ndarray, indices: np.ndarray, degrees: np.ndarray
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.num_arcs = len(indices)
+        self._segments: list[shared_memory.SharedMemory] = []
+        # Registered before the segments exist: _release_segments drains
+        # whatever the shared list holds at fire time, so a partially
+        # constructed broadcast is cleaned up too.
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
+        try:
+            views = [self._create_and_fill(array) for array in (indptr, indices, degrees)]
+        except BaseException:
+            self.close()
+            raise
+        self._arrays = tuple(_readonly(view) for view in views)
+        self.handle = SharedCSRHandle(
+            num_vertices=self.num_vertices,
+            num_arcs=self.num_arcs,
+            indptr_name=self._segments[0].name,
+            indices_name=self._segments[1].name,
+            degrees_name=self._segments[2].name,
+        )
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "SharedCSRStorage":
+        """Broadcast an existing graph's CSR arrays (the session/pool path)."""
+        indptr, indices, degrees = graph.csr_arrays()
+        return cls(graph.num_vertices, indptr, indices, degrees)
+
+    def _create_and_fill(self, array: np.ndarray) -> np.ndarray:
+        # Zero-byte segments are rejected by the OS; an empty array still
+        # gets a 1-byte segment (the handle's shapes carry the real lengths).
+        segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+        view[...] = array
+        return view
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        indptr, indices, degrees = self._arrays
+        return indptr, indices, degrees
+
+    def close(self) -> None:
+        """Detach and unlink every segment (safe to call more than once)."""
+        self._finalizer()
+
+    def __enter__(self) -> "SharedCSRStorage":
+        return self
+
+
+# ----------------------------------------------------------------------
+# Disk-backed CSR (np.memmap over the io.py .csr format)
+# ----------------------------------------------------------------------
+def _unlink_file(path: str) -> None:
+    """Best-effort deletion of a temporary backing file (finalize target)."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:  # pragma: no cover - already removed
+        pass
+
+
+class MemmapStorage(CSRStorage):
+    """CSR arrays mapped read-only from a ``.csr`` file on disk.
+
+    The file layout is the binary format of
+    :func:`repro.graphs.io.write_csr_graph`; each array is an
+    :class:`numpy.memmap` window into it (``mode="r"``, so the arrays are
+    read-only by construction — the precondition the read-only hardening of
+    every kernel exists for).  Two ownership modes:
+
+    * :meth:`open` maps a caller-provided file and never deletes it — the
+      ``repro detect --graph-file`` / :func:`~repro.graphs.io.read_csr_graph`
+      path;
+    * :meth:`materialize` spills freshly built arrays to a temporary file
+      and deletes it when the storage is garbage-collected or closed — the
+      ``REPRO_STORAGE=memmap`` construction route.  POSIX keeps the mapping
+      valid after the unlink, so early finalization can never corrupt a
+      live graph.
+    """
+
+    kind = STORAGE_MEMMAP
+
+    def __init__(self, path: str | Path, *, _owns_file: bool = False) -> None:
+        from .io import read_csr_layout
+
+        self._path = str(path)
+        layout = read_csr_layout(self._path)
+        self.num_vertices = layout.num_vertices
+        self.num_arcs = layout.num_arcs
+        if _owns_file:
+            self._finalizer: weakref.finalize | None = weakref.finalize(
+                self, _unlink_file, self._path
+            )
+        else:
+            self._finalizer = None
+        self._arrays = tuple(
+            self._map(offset, length)
+            for offset, length in (
+                (layout.indptr_offset, layout.num_vertices + 1),
+                (layout.indices_offset, layout.num_arcs),
+                (layout.degrees_offset, layout.num_vertices),
+            )
+        )
+
+    def _map(self, offset: int, length: int) -> np.ndarray:
+        if length == 0:
+            # mmap rejects zero-length windows; an empty array needs no file
+            # backing anyway.
+            return _readonly(np.empty(0, dtype=np.int64))
+        window = np.memmap(
+            self._path, dtype=np.dtype("<i8"), mode="r", offset=offset, shape=(length,)
+        )
+        return np.asarray(window)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "MemmapStorage":
+        """Map an existing ``.csr`` file (the caller keeps the file)."""
+        return cls(path)
+
+    @classmethod
+    def materialize(
+        cls, num_vertices: int, indptr: np.ndarray, indices: np.ndarray, degrees: np.ndarray
+    ) -> "MemmapStorage":
+        """Spill freshly built arrays to a temporary file and map it back.
+
+        Used by ``REPRO_STORAGE=memmap``: the heap copies are dropped as
+        soon as construction returns, leaving only the page-cache-backed
+        mappings.  The temporary file is deleted when the storage (and with
+        it the owning graph) goes away.
+        """
+        from .io import write_csr_arrays
+
+        handle, path = tempfile.mkstemp(prefix="repro-graph-", suffix=".csr")
+        os.close(handle)
+        try:
+            write_csr_arrays(path, num_vertices, indptr, indices, degrees)
+        except BaseException:
+            _unlink_file(path)
+            raise
+        return cls(path, _owns_file=True)
+
+    @property
+    def path(self) -> str:
+        """The backing ``.csr`` file."""
+        return self._path
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        indptr, indices, degrees = self._arrays
+        return indptr, indices, degrees
+
+    def close(self) -> None:
+        """Delete the backing file when this storage owns it (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+
+def storage_from_arrays(
+    kind: str,
+    num_vertices: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+) -> CSRStorage:
+    """Materialize freshly built CSR arrays into the named backend.
+
+    This is the single dispatch point :meth:`Graph._build_csr` (and the
+    ``.csr`` readers of :mod:`repro.graphs.io`) route through; ``kind`` must
+    already be resolved (see :func:`resolve_storage`).
+    """
+    if kind == STORAGE_DENSE:
+        return DenseStorage(num_vertices, indptr, indices, degrees)
+    if kind == STORAGE_SHM:
+        return SharedCSRStorage(num_vertices, indptr, indices, degrees)
+    if kind == STORAGE_MEMMAP:
+        return MemmapStorage.materialize(num_vertices, indptr, indices, degrees)
+    raise GraphError(f"unknown graph storage backend {kind!r}")

@@ -176,6 +176,32 @@ class TestFromCsr:
         with pytest.raises(GraphError):
             Graph.from_csr(path_graph.num_vertices, indptr, indices, degrees=wrong)
 
+    def test_validation_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(-1, np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    def test_validation_rejects_odd_arc_count(self):
+        # A lone directed arc cannot come from an undirected edge.
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 1, 1]), np.array([1]))
+
+    def test_validation_rejects_duplicate_arcs(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(2, np.array([0, 2, 4]), np.array([1, 1, 0, 0]))
+
+    def test_validate_false_skips_structural_checks(self):
+        # Reserved for arrays that provably came out of another Graph; the
+        # malformed indptr below would raise under validation.
+        graph = Graph.from_csr(
+            2, np.array([0, 1, 1]), np.array([1]), validate=False
+        )
+        assert graph.num_vertices == 2
+
+    def test_storage_kind_defaults_to_dense(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE", raising=False)
+        graph = Graph(3, [(0, 1), (1, 2)])
+        assert graph.storage_kind == "dense"
+
 
 class TestAccessors:
     def test_degrees(self, path_graph):

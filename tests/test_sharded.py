@@ -1,0 +1,359 @@
+"""Tests for the genuinely sharded execution tier.
+
+The contract under test (see ``src/repro/execution_sharded.py``): the
+``"sharded"`` backend partitions the walk operator's rows across worker
+processes with the k-machine hash partition and must still produce
+detections, cost totals and serialized reports **bit-identical** to the
+serial ``batched`` backend at every shard count — only the wall clock and
+the exchange counters in the report metadata may differ.  The exchange
+counters themselves must reconcile with what the
+:class:`~repro.kmachine.simulator.KMachineNetwork` charges for the same
+flooding pattern on the same partition.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, detect
+from repro.exceptions import RandomWalkError
+from repro.execution_sharded import (
+    ShardedBatchedWalk,
+    ShardedWalkPool,
+    detect_batched_sharded,
+)
+from repro.graphs import Graph, planted_partition_graph, ppm_expected_conductance
+from repro.kmachine.partition import RandomVertexPartition
+from repro.kmachine.simulator import KMachineNetwork
+from repro.randomwalk import BatchedWalkDistribution
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: The computed parts of a serialized report, minus ``backend`` (the name
+#: legitimately differs between the serial and sharded runs).
+PAYLOAD_KEYS = ("detection", "phase_costs", "total_cost", "artifacts", "params")
+
+
+def payload(report) -> dict:
+    data = report.to_dict()
+    return {key: data[key] for key in PAYLOAD_KEYS}
+
+
+@pytest.fixture(scope="module")
+def ppm():
+    """A small PPM instance plus its analytic conductance hint."""
+    n = 256
+    p = 3 * math.log(n) ** 2 / n
+    q = 1.0 / n
+    instance = planted_partition_graph(n, 2, p, q, seed=7)
+    delta = ppm_expected_conductance(n, 2, p, q)
+    return instance, delta
+
+
+# ----------------------------------------------------------------------
+# The sharded walk itself: bit-identical stepping
+# ----------------------------------------------------------------------
+class TestShardedWalk:
+    @pytest.mark.parametrize("shards", WORKER_COUNTS)
+    def test_steps_bit_identical_to_serial_walk(self, ppm, shards):
+        instance, _ = ppm
+        sources = [0, 17, 130, 255]
+        serial = BatchedWalkDistribution(instance.graph, sources)
+        with ShardedWalkPool(instance.graph, shards) as pool:
+            walk = pool.make_walk(sources)
+            for _ in range(4):
+                serial.step()
+                walk.step()
+                assert np.array_equal(
+                    np.asarray(walk.probabilities()),
+                    np.asarray(serial.probabilities()),
+                )
+
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_lazy_operator_matches_serial(self, ppm, lazy):
+        instance, _ = ppm
+        sources = [3, 99]
+        serial = BatchedWalkDistribution(instance.graph, sources, lazy=lazy)
+        with ShardedWalkPool(instance.graph, 2, lazy=lazy) as pool:
+            walk = pool.make_walk(sources)
+            serial.step(3)
+            walk.step(3)
+            assert np.array_equal(
+                np.asarray(walk.probabilities()),
+                np.asarray(serial.probabilities()),
+            )
+
+    def test_column_and_columns_match_serial_semantics(self, ppm):
+        instance, _ = ppm
+        sources = [5, 40, 200]
+        serial = BatchedWalkDistribution(instance.graph, sources)
+        with ShardedWalkPool(instance.graph, 2) as pool:
+            walk = pool.make_walk(sources)
+            serial.step()
+            walk.step()
+            for index in range(len(sources)):
+                assert np.array_equal(walk.column(index), serial.column(index))
+            assert np.array_equal(walk.columns([2, 0]), serial.columns([2, 0]))
+            assert not walk.column(0).flags.writeable
+            assert not walk.columns([1]).flags.writeable
+            assert not walk.probabilities().flags.writeable
+
+    def test_retain_narrows_like_serial(self, ppm):
+        instance, _ = ppm
+        sources = [5, 40, 200, 17]
+        serial = BatchedWalkDistribution(instance.graph, sources)
+        with ShardedWalkPool(instance.graph, 2) as pool:
+            walk = pool.make_walk(sources)
+            serial.step(2)
+            walk.step(2)
+            serial.retain([3, 1])
+            walk.retain([3, 1])
+            serial.step()
+            walk.step()
+            assert np.array_equal(
+                np.asarray(walk.probabilities()),
+                np.asarray(serial.probabilities()),
+            )
+
+    def test_retain_rejects_empty_and_out_of_range(self, ppm):
+        instance, _ = ppm
+        with ShardedWalkPool(instance.graph, 2) as pool:
+            walk = pool.make_walk([1, 2])
+            with pytest.raises(RandomWalkError):
+                walk.retain([])
+            with pytest.raises(RandomWalkError):
+                walk.retain([5])
+            with pytest.raises(RandomWalkError):
+                walk.column(9)
+
+    def test_sources_validated(self, ppm):
+        instance, _ = ppm
+        with ShardedWalkPool(instance.graph, 2) as pool:
+            with pytest.raises(RandomWalkError):
+                pool.make_walk([])
+            with pytest.raises(RandomWalkError):
+                pool.make_walk([instance.graph.num_vertices])
+
+    def test_more_shards_than_vertices(self):
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        serial = BatchedWalkDistribution(graph, [0, 2])
+        with ShardedWalkPool(graph, 4) as pool:
+            walk = pool.make_walk([0, 2])
+            serial.step(3)
+            walk.step(3)
+            assert np.array_equal(
+                np.asarray(walk.probabilities()),
+                np.asarray(serial.probabilities()),
+            )
+
+    def test_close_is_idempotent(self, ppm):
+        instance, _ = ppm
+        pool = ShardedWalkPool(instance.graph, 2)
+        pool.close()
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence through the facade
+# ----------------------------------------------------------------------
+class TestShardedBackendEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_report_identical_to_serial_batched(self, ppm, workers):
+        instance, delta = ppm
+        base = detect(
+            instance.graph,
+            backend="batched",
+            delta_hint=delta,
+            config=RunConfig(seed=11, max_seeds=4),
+        )
+        sharded = detect(
+            instance.graph,
+            backend="sharded",
+            delta_hint=delta,
+            config=RunConfig(seed=11, max_seeds=4, workers=workers),
+        )
+        base_payload = payload(base)
+        sharded_payload = payload(sharded)
+        assert sharded_payload == base_payload
+        assert sharded.backend == "sharded"
+        assert sharded.metadata["shard_processes"] == workers
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_final_distributions_bit_identical(self, ppm, workers):
+        instance, delta = ppm
+        config = RunConfig(seed=11, max_seeds=3, capture_distributions=True)
+        base = detect(
+            instance.graph, backend="batched", delta_hint=delta, config=config
+        )
+        sharded = detect(
+            instance.graph,
+            backend="sharded",
+            delta_hint=delta,
+            config=config.with_overrides(workers=workers),
+        )
+        assert (
+            sharded.artifacts["final_distributions"]
+            == base.artifacts["final_distributions"]
+        )
+
+    def test_explicit_seeds_identical(self, ppm):
+        instance, delta = ppm
+        base = detect(
+            instance.graph,
+            backend="batched",
+            delta_hint=delta,
+            config=RunConfig(seeds=(3, 200, 77)),
+        )
+        sharded = detect(
+            instance.graph,
+            backend="sharded",
+            delta_hint=delta,
+            config=RunConfig(seeds=(3, 200, 77), workers=2),
+        )
+        assert payload(sharded) == payload(base)
+
+    def test_partition_seed_changes_exchange_not_results(self, ppm):
+        instance, delta = ppm
+        reports = [
+            detect(
+                instance.graph,
+                backend="sharded",
+                delta_hint=delta,
+                config=RunConfig(
+                    seed=11, max_seeds=3, workers=2, partition_seed=salt
+                ),
+            )
+            for salt in (0, 1)
+        ]
+        assert payload(reports[0]) == payload(reports[1])
+        # The partition moved (different cross-arc count) but the results
+        # did not: the exchange pattern is the only thing the salt touches.
+        # (Boundary *pairs* can coincide — on this dense instance every
+        # vertex has a cross neighbour at k=2 under any salt.)
+        exchanges = [report.metadata["exchange"] for report in reports]
+        assert exchanges[0]["cross_arcs"] != exchanges[1]["cross_arcs"]
+
+    def test_trivial_graphs_take_inline_path(self):
+        for graph in (Graph(0, []), Graph(5, [])):
+            base = detect(graph, backend="batched", config=RunConfig(seed=1))
+            sharded = detect(
+                graph, backend="sharded", config=RunConfig(seed=1, workers=2)
+            )
+            assert payload(sharded) == payload(base)
+            assert sharded.metadata["shard_processes"] == 0
+            assert sharded.metadata["exchange"] == {}
+
+    def test_outcome_function_directly(self, ppm):
+        instance, delta = ppm
+        outcome = detect_batched_sharded(
+            instance.graph, None, delta, seed=5, max_seeds=2, workers=2
+        )
+        assert outcome.detection.num_communities >= 1
+        assert outcome.extras["executor"] == "sharded"
+        assert outcome.extras["exchange"]["machines"] == 2
+
+
+# ----------------------------------------------------------------------
+# Exchange accounting, reconciled with the k-machine simulator
+# ----------------------------------------------------------------------
+class TestExchangeReconciliation:
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_boundary_pairs_match_independent_count(self, ppm, workers):
+        """The pool's per-column boundary pairs equal the distinct cross
+        ``(vertex, destination machine)`` pairs of the graph's arcs."""
+        instance, _ = ppm
+        graph = instance.graph
+        partition = RandomVertexPartition(
+            graph.num_vertices, workers, method="hash", seed=None
+        )
+        assignment = partition.assignment
+        indptr, indices, _ = graph.csr_arrays()
+        tails = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), graph.degrees()
+        )
+        crossing = assignment[tails] != assignment[indices]
+        # Each foreign vertex's value is gathered once per needing machine:
+        # dedup arcs to (source vertex, destination machine).
+        pairs = np.unique(
+            np.stack(
+                [tails[crossing], assignment[indices[crossing]]], axis=1
+            ),
+            axis=0,
+        )
+        with ShardedWalkPool(graph, workers) as pool:
+            report = pool.exchange_report()
+            assert report["boundary_pairs_per_column_step"] == len(pairs)
+            assert report["boundary_pairs_per_column_step"] <= report["cross_arcs"]
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_simulated_costs_match_kmachine_network(self, ppm, workers):
+        instance, _ = ppm
+        graph = instance.graph
+        partition = RandomVertexPartition(
+            graph.num_vertices, workers, method="hash", seed=None
+        )
+        network = KMachineNetwork(partition)
+        tails = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), graph.degrees()
+        )
+        loads, inter, local = network.link_loads(tails, graph.csr_arrays()[1])
+        rounds = network.rounds_for_loads(loads)
+        with ShardedWalkPool(graph, workers) as pool:
+            walk = pool.make_walk([0, 1, 2])
+            walk.step(2)
+            report = pool.exchange_report()
+        assert report["cross_arcs"] == inter
+        assert report["local_arcs"] == local
+        assert report["simulated_rounds_per_step"] == rounds
+        assert report["simulated_inter_machine_messages"] == inter * 2
+        assert report["simulated_local_messages"] == local * 2
+        assert report["simulated_rounds"] == rounds * 2
+
+    def test_totals_scale_with_steps_and_columns(self, ppm):
+        instance, _ = ppm
+        graph = instance.graph
+        with ShardedWalkPool(graph, 2) as pool:
+            per_column = pool.exchange_report()["boundary_pairs_per_column_step"]
+            walk = pool.make_walk([0, 1, 2, 3])
+            walk.step()
+            walk.retain([0, 1])
+            walk.step()
+            report = pool.exchange_report()
+        assert per_column > 0
+        assert report["steps"] == 2
+        assert report["boundary_values"] == per_column * 4 + per_column * 2
+        assert report["boundary_bytes"] == report["boundary_values"] * 8
+        assert len(report["per_step"]) == 2
+        assert report["per_step"][0]["columns"] == 4
+        assert report["per_step"][1]["columns"] == 2
+
+    def test_single_shard_has_no_boundary(self, ppm):
+        instance, _ = ppm
+        with ShardedWalkPool(instance.graph, 1) as pool:
+            walk = pool.make_walk([0])
+            walk.step()
+            report = pool.exchange_report()
+        assert report["boundary_pairs_per_column_step"] == 0
+        assert report["boundary_values"] == 0
+        assert report["cross_arcs"] == 0
+
+    def test_exchange_rides_in_run_report_json(self, ppm):
+        instance, delta = ppm
+        report = detect(
+            instance.graph,
+            backend="sharded",
+            delta_hint=delta,
+            config=RunConfig(seed=11, max_seeds=2, workers=2),
+        )
+        import json
+
+        round_tripped = json.loads(report.to_json())
+        exchange = round_tripped["metadata"]["exchange"]
+        assert exchange["machines"] == 2
+        assert exchange["steps"] > 0
+        assert (
+            exchange["boundary_pairs_per_column_step"] <= exchange["cross_arcs"]
+        )
