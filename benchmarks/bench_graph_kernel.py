@@ -42,7 +42,14 @@ Measures, on a 1M-edge random graph:
   graph answered once with a fresh ``detect()`` per request (each paying
   the broadcast + pool fork + operator build) and once through a single
   :class:`repro.DetectionSession`, which broadcasts exactly once and keeps
-  the pool and cached operators resident; answers are bit-identical.
+  the pool and cached operators resident; answers are bit-identical;
+* **coalescing service** — a stream of single-seed requests answered once
+  by a serialized session loop (one full batched pass per request) and
+  once through :class:`repro.DetectionService` at ``clients ∈ {1, 4, 16}``
+  concurrent submitters, whose dispatcher coalesces pending requests into
+  ``detect_batch`` waves where width is nearly free; every reply must be
+  bit-identical to its serialized counterpart, and at 16 clients the
+  stream must collapse into fewer waves than requests.
 
 Run directly (``python benchmarks/bench_graph_kernel.py``) for the table, or
 through pytest (``pytest benchmarks/bench_graph_kernel.py``) to enforce the
@@ -51,10 +58,12 @@ least 10× faster than the seed scalar path, the 64-column batched
 mixing-set search must beat the per-column loop, on machines with at least
 two cores the threaded step and threaded search must each beat their
 ``workers=1`` timing by ≥ 1.3×, and on machines with at least four cores
-the process tier must beat the serial facade by ≥ 1.5× and the resident
-session must beat the per-call setup loop by ≥ 2× (the scaling guards are
-skipped on smaller hosts, where the equivalence tests still gate the
-parallel paths and the session identity/broadcast checks still run).
+the process tier must beat the serial facade by ≥ 1.5×, the resident
+session must beat the per-call setup loop by ≥ 2×, and the coalescing
+service at 16 concurrent clients must beat the serialized session loop by
+≥ 2× (the scaling guards are skipped on smaller hosts, where the
+equivalence tests still gate the parallel paths and the session/service
+identity and coalescing checks still run).
 """
 
 from __future__ import annotations
@@ -68,10 +77,12 @@ import platform
 import tempfile
 import time
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, detect
+from repro.api import RunConfig, RunReport, detect
 from repro.core import BatchedMixingSetSearch, MixingSetSearch
 from repro.core.parallel import select_spread_seeds
 from repro.graphs import (
@@ -88,6 +99,7 @@ from repro.graphs.reference import (
     scalar_induced_subgraph_edges,
 )
 from repro.randomwalk import BatchedWalkDistribution, transition_matrix
+from repro.service import DetectionService
 from repro.session import DetectionSession
 from repro.utils import log_size
 
@@ -128,6 +140,17 @@ SESSION_REPEATS = 6
 SESSION_SEEDS_PER_CALL = 4
 SESSION_WORKERS = 4
 SESSION_REQUIRED_SPEEDUP = 2.0
+
+# The coalescing service amortises whole batched passes: N pending
+# single-seed requests become one detect_batch wave instead of N sequential
+# single-seed passes.  Measured as a fixed stream of distinct single-seed
+# requests on the process-tier PPM, submitted by {1, 4, 16} concurrent
+# client threads; the >= 2x guard (16 clients vs the serialized session
+# loop) applies on hosts with >= 4 cores, the identity and coalescing
+# checks everywhere.
+SERVICE_REQUESTS = 16
+SERVICE_CONCURRENCY = (1, 4, 16)
+SERVICE_REQUIRED_SPEEDUP = 2.0
 
 
 def _best_of(function, repeats: int = 3) -> float:
@@ -418,6 +441,65 @@ def run_benchmark() -> dict[str, float]:
     results["session_speedup"] = (
         results["session_oneshot_s"] / results["session_resident_s"]
     )
+
+    # -- coalescing service (admission queue in front of one session) ----
+    service_rng = np.random.default_rng(10)
+    service_stream = tuple(
+        int(v)
+        for v in service_rng.choice(n, size=SERVICE_REQUESTS, replace=False)
+    )
+    service_config = RunConfig(workers=SESSION_WORKERS)
+
+    start = time.perf_counter()
+    with DetectionSession(
+        process_ppm.graph, config=service_config, delta_hint=process_delta
+    ) as serialized_session:
+        serialized_replies = {
+            vertex: serialized_session.detect(seeds=(vertex,))
+            for vertex in service_stream
+        }
+    results["service_serialized_s"] = time.perf_counter() - start
+
+    service_identical = 1.0
+    for clients in SERVICE_CONCURRENCY:
+        shards = [service_stream[index::clients] for index in range(clients)]
+        replies: dict[int, RunReport] = {}
+        replies_lock = threading.Lock()
+        client_barrier = threading.Barrier(clients)
+
+        def serve_shard(shard: tuple[int, ...]) -> None:
+            client_barrier.wait()
+            futures = [(vertex, service.submit(vertex)) for vertex in shard]
+            for vertex, future in futures:
+                report = future.result(timeout=600)
+                with replies_lock:
+                    replies[vertex] = report
+
+        start = time.perf_counter()
+        with DetectionService(
+            process_ppm.graph, config=service_config, delta_hint=process_delta
+        ) as service:
+            client_threads = [
+                threading.Thread(target=serve_shard, args=(shard,))
+                for shard in shards
+            ]
+            for thread in client_threads:
+                thread.start()
+            for thread in client_threads:
+                thread.join()
+            service_metrics = service.metrics()
+        results[f"service_clients{clients}_s"] = time.perf_counter() - start
+        results[f"service_clients{clients}_waves"] = float(service_metrics["waves"])
+        if any(
+            replies[vertex].detection != serialized_replies[vertex].detection
+            for vertex in service_stream
+        ):
+            service_identical = 0.0
+    results["service_identical"] = service_identical
+    results["service_speedup"] = (
+        results["service_serialized_s"]
+        / results[f"service_clients{max(SERVICE_CONCURRENCY)}_s"]
+    )
     return results
 
 
@@ -494,6 +576,17 @@ def print_workers_table(results: dict[str, float]) -> None:
         f"({results['session_speedup']:.1f}x, "
         f"broadcasts={results['session_broadcasts']:.0f}, "
         f"identical={results['session_identical']:.0f})"
+    )
+    service_levels = ", ".join(
+        f"x{clients} {results[f'service_clients{clients}_s']:.4f}s "
+        f"({results[f'service_clients{clients}_waves']:.0f} waves)"
+        for clients in SERVICE_CONCURRENCY
+    )
+    print(
+        f"coalescing service ({SERVICE_REQUESTS} single-seed requests): "
+        f"serialized {results['service_serialized_s']:.4f}s, {service_levels} "
+        f"({results['service_speedup']:.1f}x at x{max(SERVICE_CONCURRENCY)}, "
+        f"identical={results['service_identical']:.0f})"
     )
     cores = os.cpu_count() or 1
     print(f"(host has {cores} core{'s' if cores != 1 else ''}; "
@@ -607,6 +700,26 @@ def test_session_beats_per_call_setup_at_least_2x():
     assert results["session_speedup"] >= SESSION_REQUIRED_SPEEDUP, results
 
 
+@pytest.mark.perf
+def test_service_replies_identical_and_coalesced():
+    """Service replies must equal the serialized session's, in fewer waves."""
+    results = run_benchmark()
+    assert results["service_identical"] == 1.0, results
+    widest = max(SERVICE_CONCURRENCY)
+    assert results[f"service_clients{widest}_waves"] < SERVICE_REQUESTS, results
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < PROCESS_REQUIRED_CORES,
+    reason="service speedup needs >= 4 cores; the identity/coalescing test gates smaller hosts",
+)
+def test_service_beats_serialized_session_at_least_2x():
+    """Acceptance: coalescing 16 concurrent clients must pay >= 2x on >= 4-core hosts."""
+    results = run_benchmark()
+    assert results["service_speedup"] >= SERVICE_REQUIRED_SPEEDUP, results
+
+
 def machine_facts() -> dict[str, object]:
     """Facts that make an archived timing interpretable on another host."""
     import scipy
@@ -645,12 +758,15 @@ def dump_json(results: dict[str, float], path: str) -> None:
             "process_seeds": PROCESS_SEEDS,
             "session_repeats": SESSION_REPEATS,
             "session_seeds_per_call": SESSION_SEEDS_PER_CALL,
+            "service_requests": SERVICE_REQUESTS,
+            "service_concurrency": list(SERVICE_CONCURRENCY),
         },
         "thresholds": {
             "required_speedup": REQUIRED_SPEEDUP,
             "threaded_required_speedup": THREADED_REQUIRED_SPEEDUP,
             "process_required_speedup": PROCESS_REQUIRED_SPEEDUP,
             "session_required_speedup": SESSION_REQUIRED_SPEEDUP,
+            "service_required_speedup": SERVICE_REQUIRED_SPEEDUP,
         },
         "results": {key: results[key] for key in sorted(results)},
     }
@@ -690,6 +806,12 @@ def main(argv: list[str] | None = None) -> None:
         failed.append("sharded-executor detection identity")
     if table["session_identical"] != 1.0 or table["session_broadcasts"] != 1.0:
         failed.append("resident-session identity/broadcast")
+    if (
+        table["service_identical"] != 1.0
+        or table[f"service_clients{max(SERVICE_CONCURRENCY)}_waves"]
+        >= SERVICE_REQUESTS
+    ):
+        failed.append("coalescing-service identity/wave count")
     multicore = (os.cpu_count() or 1) >= 2
     manycore = (os.cpu_count() or 1) >= PROCESS_REQUIRED_CORES
     if multicore:
@@ -702,6 +824,8 @@ def main(argv: list[str] | None = None) -> None:
             failed.append("process executor")
         if table["session_speedup"] < SESSION_REQUIRED_SPEEDUP:
             failed.append("resident session")
+        if table["service_speedup"] < SERVICE_REQUIRED_SPEEDUP:
+            failed.append("coalescing service")
     if failed:
         raise SystemExit(f"speedup thresholds not met for: {', '.join(failed)}")
     print(
@@ -714,7 +838,8 @@ def main(argv: list[str] | None = None) -> None:
         )
         + (
             f", process tier >= {PROCESS_REQUIRED_SPEEDUP}x, "
-            f"resident session >= {SESSION_REQUIRED_SPEEDUP}x"
+            f"resident session >= {SESSION_REQUIRED_SPEEDUP}x, "
+            f"coalescing service >= {SERVICE_REQUIRED_SPEEDUP}x"
             if manycore
             else (
                 f" (< {PROCESS_REQUIRED_CORES} cores: process/session "

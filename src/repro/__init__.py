@@ -55,6 +55,27 @@ True
 
 ``repro detect --session-repeat N`` exercises the same path from the
 command line.
+
+Serving detections
+------------------
+The session serves one call at a time by contract (concurrent calls raise
+:class:`SessionBusyError`).  For many concurrent callers,
+:class:`DetectionService` puts an admission queue and a dispatcher thread
+in front of one session, coalescing whatever requests are pending into
+``detect_batch`` waves — with per-request reports still bit-identical to
+one-shot calls:
+
+>>> from repro import DetectionService
+>>> with DetectionService(ppm.graph, config=RunConfig(seed=7)) as service:
+...     report = service.submit(300).result(timeout=60)   # from any thread
+>>> report.detection == detect(
+...     ppm.graph, "batched", config=RunConfig(seed=7, seeds=(300,))
+... ).detection
+True
+
+``await service.detect(seed)`` is the same queue for asyncio callers, and
+``repro serve --port N`` exposes it over JSON-lines TCP
+(:mod:`repro.service_net`).
 """
 
 from .exceptions import (
@@ -62,6 +83,7 @@ from .exceptions import (
     BackendError,
     BandwidthExceededError,
     ConvergenceError,
+    DeadlineExpiredError,
     ExperimentError,
     GeneratorError,
     GraphError,
@@ -71,6 +93,10 @@ from .exceptions import (
     PartitionError,
     RandomWalkError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    SessionBusyError,
     SimulationError,
 )
 from .graphs import (
@@ -100,9 +126,10 @@ from .api import (
     unregister_backend,
 )
 from .metrics import average_f_score, score_detection
+from .service import DetectionService
 from .session import DetectionSession
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -121,6 +148,11 @@ __all__ = [
     "MetricError",
     "ExperimentError",
     "BackendError",
+    "SessionBusyError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "DeadlineExpiredError",
     # graphs
     "Graph",
     "Partition",
@@ -130,6 +162,7 @@ __all__ = [
     "stochastic_block_model_graph",
     # unified detection engine
     "Backend",
+    "DetectionService",
     "DetectionSession",
     "RunConfig",
     "RunReport",

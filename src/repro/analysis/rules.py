@@ -29,6 +29,9 @@ The shipped rules:
 ``REP107``  Storage-layer confinement — ``SharedMemory`` and
             ``np.memmap`` construction lives in ``graphs/storage.py``
             only; everything else goes through the storage backends.
+``REP108``  Non-blocking event loop — no ``time.sleep``, bare
+            ``.result()`` or synchronous socket/file I/O inside
+            ``async def`` bodies in the service package.
 ========  ===========================================================
 """
 
@@ -658,6 +661,145 @@ class StorageLayerRule(Rule):
             value = func.value
             return isinstance(value, ast.Name) and value.id in _NUMPY_ALIASES
         return func.attr == "open_memmap"
+
+
+# ----------------------------------------------------------------------
+# REP108 — non-blocking event loop
+# ----------------------------------------------------------------------
+#: The service-package modules whose coroutines must never block.
+_SERVICE_FILES = frozenset({"service.py", "service_net.py"})
+_SERVICE_PACKAGE = "repro"
+
+#: Socket methods that block the calling thread until the peer acts.
+_BLOCKING_SOCKET_METHODS = frozenset(
+    {"accept", "connect", "recv", "recv_into", "sendall"}
+)
+
+
+@register_rule
+class AsyncNoBlockingRule(Rule):
+    """Coroutines in the service package never block the event loop.
+
+    The service's async surface exists so one event loop can multiplex
+    many clients; a single blocking call inside an ``async def`` —
+    ``time.sleep``, a bare ``Future.result()``, a synchronous
+    ``open()`` / socket operation — stalls *every* connection on that
+    loop, which is precisely the failure mode the wire server cannot
+    exhibit under load.  Coroutines await instead: ``asyncio.sleep``,
+    ``asyncio.wrap_future(...)``, the stream reader/writer API.  Work
+    that must block runs on a thread (``loop.run_in_executor``) or on
+    the service's own dispatcher.  ``.result(timeout)`` with an explicit
+    timeout is tolerated — it bounds the stall and is sometimes the
+    right bridge in shutdown paths.
+    """
+
+    code = "REP108"
+    name = "async-no-blocking"
+    summary = (
+        "no time.sleep / bare .result() / sync socket or file I/O inside "
+        "async def bodies in the service package"
+    )
+    include_tests = False
+
+    def applies_to(self, context: FileContext) -> bool:
+        if not super().applies_to(context):
+            return False
+        return (
+            context.parts[-1] in _SERVICE_FILES
+            and _SERVICE_PACKAGE in context.parts[:-1]
+        )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(context, node)
+
+    def _check_coroutine(
+        self, context: FileContext, coroutine: ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        for node in self._coroutine_body(coroutine):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if self._is_time_sleep(func):
+                yield self.report(
+                    context,
+                    node,
+                    "time.sleep inside a coroutine stalls every connection "
+                    "on the event loop; await asyncio.sleep instead",
+                )
+            elif self._is_bare_result(node):
+                yield self.report(
+                    context,
+                    node,
+                    "bare .result() inside a coroutine blocks the event "
+                    "loop until the future resolves; await "
+                    "asyncio.wrap_future(...) instead",
+                )
+            elif self._is_sync_io(func):
+                yield self.report(
+                    context,
+                    node,
+                    "synchronous I/O inside a coroutine blocks the event "
+                    "loop; use the asyncio stream API or "
+                    "loop.run_in_executor",
+                )
+
+    @staticmethod
+    def _coroutine_body(coroutine: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes executing in the coroutine itself.
+
+        Nested function bodies are skipped: a sync helper defined inside a
+        coroutine runs wherever it is later called (often a thread), and a
+        nested ``async def`` is visited on its own by the outer walk.
+        """
+
+        def visit(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                yield child
+                yield from visit(child)
+
+        for statement in coroutine.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield statement
+            yield from visit(statement)
+
+    @staticmethod
+    def _is_time_sleep(func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "sleep"
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+
+    @staticmethod
+    def _is_bare_result(call: ast.Call) -> bool:
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "result"
+            and not call.args
+            and not call.keywords
+        )
+
+    @staticmethod
+    def _is_sync_io(func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "open"
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in ("create_connection", "socket"):
+            value = func.value
+            return isinstance(value, ast.Name) and value.id == "socket"
+        return func.attr in _BLOCKING_SOCKET_METHODS
 
 
 def rule_table() -> Sequence[tuple[str, str, str]]:

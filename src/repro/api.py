@@ -69,6 +69,7 @@ __all__ = [
     "detect",
     "get_backend",
     "register_backend",
+    "split_batched_report",
     "unregister_backend",
 ]
 
@@ -461,6 +462,76 @@ class RunReport:
     def from_json(cls, text: str) -> "RunReport":
         """Rebuild a report from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+
+def split_batched_report(report: RunReport) -> tuple[RunReport, ...]:
+    """Split an explicit-seed batched report into one report per seed.
+
+    Per-seed results are independent of batch composition (the PR 1/2
+    kernel contracts), so slicing a wave report is exact: each returned
+    report carries the same detection payload — community, cost totals,
+    its row of ``final_distributions`` — that a one-shot single-seed call
+    would have computed, bit for bit.  This is what lets a coalescing
+    front end (:class:`repro.service.DetectionService`) answer many
+    single-seed requests from one ``detect_batch`` wave.
+
+    Only cost-free explicit-seed reports split this way: the report must
+    have ``config.seeds`` set, no ``phase_costs`` (the simulator backends
+    charge per *run*, which has no per-seed decomposition), and one
+    community per requested seed, in request order.
+    """
+    if report.phase_costs:
+        raise BackendError(
+            f"cannot split a {report.backend!r} report with phase costs: "
+            f"simulated communication is charged per run, not per seed"
+        )
+    seeds = report.config.seeds
+    if seeds is None:
+        raise BackendError(
+            "cannot split a pool-mode report: config.seeds is not set, so "
+            "there is no per-request decomposition to recover"
+        )
+    communities = report.detection.communities
+    if len(communities) != len(seeds):
+        raise BackendError(
+            f"cannot split report: {len(seeds)} requested seeds but "
+            f"{len(communities)} detected communities"
+        )
+    finals_obj = report.artifacts.get("final_distributions")
+    finals: list[object] | None = None
+    if finals_obj is not None:
+        if not isinstance(finals_obj, list) or len(finals_obj) != len(seeds):
+            raise BackendError(
+                f"cannot split report: final_distributions does not carry "
+                f"one row per requested seed ({len(seeds)} seeds)"
+            )
+        finals = finals_obj
+    singles: list[RunReport] = []
+    for position, (seed_vertex, community) in enumerate(zip(seeds, communities)):
+        if community.seed != seed_vertex:
+            raise BackendError(
+                f"cannot split report: community {position} answers seed "
+                f"{community.seed}, expected {seed_vertex} (results are not "
+                f"in request order)"
+            )
+        artifacts: dict[str, object] = {}
+        if finals is not None:
+            artifacts["final_distributions"] = [finals[position]]
+        singles.append(
+            replace(
+                report,
+                detection=DetectionResult(
+                    num_vertices=report.detection.num_vertices,
+                    communities=(community,),
+                ),
+                config=report.config.with_overrides(seeds=(seed_vertex,)),
+                timings=dict(report.timings),
+                metadata=dict(report.metadata),
+                artifacts=artifacts,
+                native_result=None,
+            )
+        )
+    return tuple(singles)
 
 
 def _cost_to_dict(cost: CostReport | KMachineCost) -> dict:

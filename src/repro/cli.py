@@ -44,6 +44,7 @@ from .experiments import (
     figure4b_grid,
     kmachine_scaling,
     render_experiment,
+    service_throughput,
     session_throughput,
 )
 
@@ -267,6 +268,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution tier (default: REPRO_EXECUTOR or thread)",
     )
 
+    service = subparsers.add_parser(
+        "service",
+        help="concurrent-service throughput: serialized one-at-a-time session "
+        "calls vs coalescing DetectionService at several client counts",
+        parents=[seed_parent],
+    )
+    service.add_argument("--n", type=int, default=1024)
+    service.add_argument("--blocks", type=int, default=4)
+    service.add_argument("--requests", type=int, default=16)
+    service.add_argument(
+        "--clients",
+        type=int,
+        nargs="+",
+        default=[1, 4, 16],
+        help="concurrent client counts to measure (default: 1 4 16)",
+    )
+    service.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="workers of the execution tier (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
+    service.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="execution tier (default: REPRO_EXECUTOR or thread)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve detections over JSON-lines TCP: one DetectionService "
+        "coalescing concurrent client requests into detect_batch waves",
+        parents=[seed_parent],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = pick a free port; the bound port is printed)",
+    )
+    serve.add_argument("--n", type=int, default=1024, help="PPM vertices")
+    serve.add_argument("--blocks", type=int, default=2, help="PPM blocks r")
+    serve.add_argument(
+        "--graph-file",
+        default=None,
+        metavar="PATH",
+        help="serve a graph file instead of a generated PPM (same formats as "
+        "repro detect)",
+    )
+    serve.add_argument(
+        "--storage",
+        choices=["dense", "shm", "memmap"],
+        default=None,
+        help="storage backend for --graph-file CSR files (default: memmap)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="workers of the execution tier (default: REPRO_WORKERS or serial; 0 = all cores)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="execution tier (default: REPRO_EXECUTOR or thread)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission-queue bound; a full queue rejects with 'overloaded'",
+    )
+    serve.add_argument(
+        "--max-wave",
+        type=int,
+        default=64,
+        help="largest number of distinct seeds coalesced into one wave",
+    )
+    serve.add_argument(
+        "--capture-history",
+        action="store_true",
+        help="include per-step mixing histories in served reports (large; "
+        "off by default for the wire)",
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="run the AST-based invariant checker (repro.analysis) over the tree",
@@ -323,9 +412,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_graph(arguments: argparse.Namespace):
+    """Build the graph a subcommand runs on (shared by detect / serve).
+
+    Returns ``(graph, truth, delta_hint, description)``, or ``None`` after
+    printing an error — callers return exit code 2.
+    """
+    from .graphs import planted_partition_graph, ppm_expected_conductance
+
+    command = arguments.command
+    if arguments.storage is not None and arguments.graph_file is None:
+        print(
+            f"repro {command}: --storage only applies to --graph-file input",
+            file=sys.stderr,
+        )
+        return None
+    if arguments.graph_file is not None:
+        from pathlib import Path
+
+        from .exceptions import GraphError
+        from .graphs import load_graph_file
+
+        try:
+            graph, truth, info = load_graph_file(
+                Path(arguments.graph_file), storage=arguments.storage
+            )
+        except (OSError, GraphError) as error:
+            print(f"repro {command}: {error}", file=sys.stderr)
+            return None
+        # File graphs carry no analytic conductance; let the engine resolve
+        # δ from the graph itself unless a ground-truth partition rode along.
+        delta = None
+        graph_line = (
+            f"  graph: {arguments.graph_file} ({info['format']}, "
+            f"storage={graph.storage_kind}) n={graph.num_vertices}, "
+            f"m={graph.num_edges}"
+        )
+        return graph, truth, delta, graph_line
+    n = arguments.n
+    blocks = arguments.blocks
+    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+    q = 0.6 / n
+    ppm = planted_partition_graph(n, blocks, p, q, seed=arguments.seed)
+    delta = ppm_expected_conductance(n, blocks, p, q)
+    graph_line = (
+        f"  graph: PPM n={n}, r={blocks}, m={ppm.graph.num_edges} "
+        f"(p={p:.4f}, q={q:.6f})"
+    )
+    return ppm.graph, ppm.partition, delta, graph_line
+
+
 def _run_detect(arguments: argparse.Namespace) -> int:
     """Execute the ``repro detect`` subcommand."""
-    from .graphs import planted_partition_graph, ppm_expected_conductance
     from .metrics import average_f_score
 
     if arguments.list_backends:
@@ -343,46 +481,11 @@ def _run_detect(arguments: argparse.Namespace) -> int:
         print(f"repro detect: {error}", file=sys.stderr)
         return 2
 
-    if arguments.storage is not None and arguments.graph_file is None:
-        print(
-            "repro detect: --storage only applies to --graph-file input",
-            file=sys.stderr,
-        )
+    resolved = _resolve_graph(arguments)
+    if resolved is None:
         return 2
-
+    graph, truth, delta, graph_line = resolved
     blocks = arguments.blocks
-    if arguments.graph_file is not None:
-        from pathlib import Path
-
-        from .exceptions import GraphError
-        from .graphs import load_graph_file
-
-        try:
-            graph, truth, info = load_graph_file(
-                Path(arguments.graph_file), storage=arguments.storage
-            )
-        except (OSError, GraphError) as error:
-            print(f"repro detect: {error}", file=sys.stderr)
-            return 2
-        # File graphs carry no analytic conductance; let the engine resolve
-        # δ from the graph itself unless a ground-truth partition rode along.
-        delta = None
-        graph_line = (
-            f"  graph: {arguments.graph_file} ({info['format']}, "
-            f"storage={graph.storage_kind}) n={graph.num_vertices}, "
-            f"m={graph.num_edges}"
-        )
-    else:
-        n = arguments.n
-        p = min(1.0, 2.0 * math.log(n) ** 2 / n)
-        q = 0.6 / n
-        ppm = planted_partition_graph(n, blocks, p, q, seed=arguments.seed)
-        graph, truth = ppm.graph, ppm.partition
-        delta = ppm_expected_conductance(n, blocks, p, q)
-        graph_line = (
-            f"  graph: PPM n={n}, r={blocks}, m={graph.num_edges} "
-            f"(p={p:.4f}, q={q:.6f})"
-        )
     config = RunConfig(
         seed=arguments.seed,
         max_seeds=arguments.max_seeds,
@@ -462,6 +565,41 @@ def _run_detect(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(arguments: argparse.Namespace) -> int:
+    """Execute the ``repro serve`` subcommand: a JSON-lines TCP daemon."""
+    from .service import DetectionService
+    from .service_net import run_server
+
+    resolved = _resolve_graph(arguments)
+    if resolved is None:
+        return 2
+    graph, _truth, delta, graph_line = resolved
+    config = RunConfig(
+        seed=arguments.seed,
+        workers=arguments.workers,
+        executor=arguments.executor,
+        capture_history=arguments.capture_history,
+    )
+    print("serve: coalescing detection service")
+    print(graph_line)
+    try:
+        with DetectionService(
+            graph,
+            config=config,
+            delta_hint=delta,
+            max_pending=arguments.max_pending,
+            max_wave=arguments.max_wave,
+        ) as service:
+            try:
+                run_server(service, arguments.host, arguments.port)
+            except KeyboardInterrupt:
+                print("shutting down: draining pending waves")
+    except BackendError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_bench(arguments: argparse.Namespace) -> int:
     """Execute the ``repro bench --compare`` subcommand."""
     from .benchcompare import DEFAULT_THRESHOLD, compare_files, render_comparison
@@ -487,6 +625,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "detect":
         return _run_detect(arguments)
+
+    if arguments.command == "serve":
+        return _run_serve(arguments)
 
     if arguments.command == "bench":
         return _run_bench(arguments)
@@ -544,6 +685,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=arguments.seed,
             workers=arguments.workers,
             executor=arguments.executor,
+        )
+    elif arguments.command == "service":
+        table = service_throughput(
+            n=arguments.n,
+            num_blocks=arguments.blocks,
+            requests=arguments.requests,
+            concurrency=tuple(arguments.clients),
+            workers=arguments.workers,
+            executor=arguments.executor,
+            seed=arguments.seed,
         )
     elif arguments.command == "session":
         table = session_throughput(

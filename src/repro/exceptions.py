@@ -61,5 +61,32 @@ class BackendError(ReproError):
     duplicate backend names, and invalid run configurations."""
 
 
+class SessionBusyError(BackendError):
+    """Raised when a :class:`~repro.session.DetectionSession` receives a
+    second call while one is already in flight.  The session is
+    one-call-at-a-time by contract; put a
+    :class:`~repro.service.DetectionService` in front for concurrent
+    callers."""
+
+
+class ServiceError(ReproError):
+    """Raised by the concurrent detection service (:mod:`repro.service`)
+    and its wire protocol (:mod:`repro.service_net`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the service's bounded admission queue is full and a new
+    request is rejected (backpressure)."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request reaches a service that is closed or closing."""
+
+
+class DeadlineExpiredError(ServiceError):
+    """Raised when a request's deadline expires in the admission queue
+    before its wave is formed."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""

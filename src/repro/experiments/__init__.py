@@ -4,6 +4,7 @@ from .runner import ExperimentRow, ExperimentTable, TrialAggregate, run_timed, r
 from .batched_detection import batched_detection_scaling
 from .parallel_detection import parallel_detection_scaling
 from .process_detection import process_detection_scaling
+from .service_throughput import service_throughput
 from .session_detection import session_throughput
 from .parameters import PROBABILITY_SPECS, RATIO_SPECS, ProbabilitySpec, RatioSpec
 from .figures import (
@@ -28,6 +29,7 @@ __all__ = [
     "batched_detection_scaling",
     "parallel_detection_scaling",
     "process_detection_scaling",
+    "service_throughput",
     "session_throughput",
     "PROBABILITY_SPECS",
     "RATIO_SPECS",

@@ -1,0 +1,162 @@
+"""Throughput of the coalescing detection service vs serialized session calls.
+
+The "millions of users" shape is many independent clients each asking for
+one seed's community.  A resident :class:`~repro.session.DetectionSession`
+answers them correctly but one at a time — each request pays a full
+single-seed batched pass.  :class:`~repro.service.DetectionService`
+admits the same requests concurrently and coalesces whatever is pending
+into one ``detect_batch`` wave, where the batched kernels make width
+nearly free.  This experiment quantifies that: a fixed stream of
+single-seed requests on one PPM instance, answered once by a serialized
+session loop and once per concurrency level through the service —
+reporting seconds, speedup, how many waves the stream collapsed into,
+the coalescing ratio, and a bit confirming every service reply is
+identical to its serialized counterpart (they always are — wave slicing
+is exact by the batch-independence kernel contracts).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from ..api import RunConfig, RunReport
+from ..core.parameters import CDRWParameters
+from ..exceptions import ExperimentError
+from ..graphs.generators import planted_partition_graph
+from ..graphs.properties import ppm_expected_conductance
+from ..service import DetectionService
+from ..session import DetectionSession
+from ..utils import as_rng
+from .runner import ExperimentTable
+
+__all__ = ["service_throughput"]
+
+
+def _run_client(
+    service: DetectionService,
+    seeds: tuple[int, ...],
+    barrier: threading.Barrier,
+    replies: dict[int, RunReport],
+    lock: threading.Lock,
+) -> None:
+    """One client: submit a slice of the stream, collect the replies."""
+    barrier.wait()
+    futures = [(vertex, service.submit(vertex)) for vertex in seeds]
+    for vertex, future in futures:
+        report = future.result(timeout=600)
+        with lock:
+            replies[vertex] = report
+
+
+def service_throughput(
+    n: int = 1024,
+    num_blocks: int = 4,
+    requests: int = 16,
+    concurrency: tuple[int, ...] = (1, 4, 16),
+    workers: int | None = None,
+    executor: str | None = None,
+    seed: int = 0,
+    parameters: CDRWParameters | None = None,
+) -> ExperimentTable:
+    """Measure a single-seed request stream: serialized session vs service.
+
+    Parameters
+    ----------
+    n, num_blocks:
+        The PPM instance (paper-style ``p = 2 log²n / n`` within blocks).
+    requests:
+        Distinct single-seed requests in the stream (capped at ``n``).
+    concurrency:
+        Client counts to measure; each level runs the same stream through
+        a fresh service with that many submitting threads.
+    workers, executor:
+        Execution-tier knobs shared by every path (``None`` defers to the
+        ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment overrides).
+    """
+    if requests < 1:
+        raise ExperimentError(f"requests must be >= 1, got {requests}")
+    if not concurrency or any(clients < 1 for clients in concurrency):
+        raise ExperimentError(
+            f"concurrency needs positive client counts, got {concurrency!r}"
+        )
+    rng = as_rng(seed)
+    p = min(1.0, 2.0 * math.log(n) ** 2 / n)
+    q = 1.0 / n
+    instance = planted_partition_graph(n, num_blocks, p, q, seed=rng)
+    graph = instance.graph
+    delta = ppm_expected_conductance(n, num_blocks, p, q)
+    stream = tuple(
+        int(v) for v in rng.choice(n, size=min(requests, n), replace=False)
+    )
+    config = RunConfig(workers=workers, executor=executor)
+
+    table = ExperimentTable(
+        name="service_throughput",
+        description=(
+            f"Coalescing service vs serialized session on PPM n={n}, "
+            f"r={num_blocks}: {len(stream)} single-seed requests"
+        ),
+    )
+
+    start = time.perf_counter()
+    with DetectionSession(
+        graph, config=config, params=parameters, delta_hint=delta
+    ) as session:
+        serialized = {
+            vertex: session.detect(seeds=(vertex,)) for vertex in stream
+        }
+    serialized_seconds = time.perf_counter() - start
+    table.add_row(
+        {"mode": "serialized", "requests": len(stream)},
+        {
+            "seconds": serialized_seconds,
+            "speedup": 1.0,
+            "waves": float(len(stream)),
+            "coalescing_ratio": 1.0,
+            "identical": 1.0,
+        },
+    )
+
+    for clients in concurrency:
+        shards = [stream[index::clients] for index in range(clients)]
+        shards = [shard for shard in shards if shard]
+        replies: dict[int, RunReport] = {}
+        lock = threading.Lock()
+        barrier = threading.Barrier(len(shards))
+        start = time.perf_counter()
+        with DetectionService(
+            graph, config=config, params=parameters, delta_hint=delta
+        ) as service:
+            threads = [
+                threading.Thread(
+                    target=_run_client,
+                    args=(service, shard, barrier, replies, lock),
+                )
+                for shard in shards
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            metrics = service.metrics()
+        seconds = time.perf_counter() - start
+        identical = all(
+            replies[vertex].detection == serialized[vertex].detection
+            for vertex in stream
+        )
+        waves = int(metrics["waves"])  # type: ignore[arg-type]
+        table.add_row(
+            {"mode": f"service x{clients}", "requests": len(stream)},
+            {
+                "seconds": seconds,
+                "speedup": (
+                    serialized_seconds / seconds if seconds > 0 else float("inf")
+                ),
+                "waves": float(waves),
+                "coalescing_ratio": float(metrics["coalescing_ratio"]),  # type: ignore[arg-type]
+                "identical": float(identical),
+            },
+        )
+    return table

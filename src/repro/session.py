@@ -44,12 +44,17 @@ Usage::
         first = s.detect(seeds=[0, 1, 2])
         second = s.detect(seeds=[3, 4, 5])   # no new broadcast, same pool
 
-The session is not thread-safe: calls are expected one at a time (the async
-front end layered on top is a ROADMAP follow-up).
+The session serves **one call at a time** by contract: a second ``detect()``
+arriving while one is in flight raises
+:class:`~repro.exceptions.SessionBusyError` instead of silently racing the
+caches.  Concurrent callers belong behind
+:class:`repro.service.DetectionService`, which coalesces them into
+``detect_batch`` waves on a single dispatcher thread.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
@@ -58,7 +63,7 @@ import scipy.sparse as sp
 from .api import BackendOutcome, RunConfig, RunReport, _distribution_rows
 from .core.parameters import CDRWParameters
 from .core.result import DetectionResult
-from .exceptions import BackendError
+from .exceptions import AlgorithmError, BackendError, SessionBusyError
 from .execution import EXECUTOR_PROCESS, resolve_executor, resolve_workers
 from .graphs.graph import Graph
 
@@ -109,6 +114,10 @@ class DetectionSession:
         self.params = params
         self.delta_hint = delta_hint
         self._closed = False
+        # One-call-at-a-time contract: held for the duration of every
+        # backend run; a concurrent caller gets SessionBusyError, never a
+        # silent race on the caches below.
+        self._busy = threading.Lock()
         # Derived-state caches (thread tier; δ serves both tiers).
         self._operators: dict[bool, sp.csr_matrix] = {}
         self._searches: dict[tuple[object, ...], BatchedMixingSetSearch] = {}
@@ -179,8 +188,35 @@ class DetectionSession:
         batch composition (the PR 1/2 kernel contracts), so the answers are
         identical to ``len(seeds)`` one-at-a-time calls, at a fraction of
         the dispatch cost.
+
+        The request is validated up front — empty, duplicated or
+        out-of-range seeds raise before any pool work (no broadcast, no
+        shard dispatch), so a malformed wave cannot cost a fork.
+        Duplicates are rejected rather than silently re-run because a
+        coalescing front end should fan one answer out to the duplicate
+        requesters (:class:`repro.service.DetectionService` does exactly
+        that).
         """
         seed_tuple = tuple(int(s) for s in seeds)
+        if not seed_tuple:
+            raise BackendError(
+                "detect_batch needs at least one seed; got an empty seed iterable"
+            )
+        if len(set(seed_tuple)) != len(seed_tuple):
+            seen: set[int] = set()
+            duplicates = sorted(
+                {s for s in seed_tuple if s in seen or bool(seen.add(s))}
+            )
+            raise BackendError(
+                f"detect_batch seeds must be unique; duplicated seed "
+                f"vertices: {duplicates} (coalesce duplicates and share the "
+                f"answer instead of re-running them)"
+            )
+        for vertex in seed_tuple:
+            if not 0 <= vertex < self.graph.num_vertices:
+                raise AlgorithmError(
+                    f"seed vertex {vertex} is not a vertex of {self.graph!r}"
+                )
         overrides.setdefault("batch_size", max(1, len(seed_tuple)))
         return self.detect(seed_tuple, **overrides)
 
@@ -326,6 +362,15 @@ class DetectionSession:
         if self._closed:
             raise BackendError("the detection session is closed")
 
+    def _acquire_call_slot(self) -> None:
+        if not self._busy.acquire(blocking=False):
+            raise SessionBusyError(
+                "DetectionSession serves one call at a time: another detect() "
+                "is already in flight on this session. Serialize callers, or "
+                "put a repro.service.DetectionService in front to coalesce "
+                "concurrent requests into waves."
+            )
+
     def _run_batched(
         self,
         params: CDRWParameters | None,
@@ -340,12 +385,16 @@ class DetectionSession:
         payload is bit-identical to the one-shot facade.
         """
         self._ensure_open()
-        params = params or CDRWParameters()
-        self._calls += 1
-        executor = resolve_executor(config.executor)
-        if executor == EXECUTOR_PROCESS:
-            return self._run_batched_process(params, config, delta_hint)
-        return self._run_batched_thread(params, config, delta_hint, executor)
+        self._acquire_call_slot()
+        try:
+            params = params or CDRWParameters()
+            self._calls += 1
+            executor = resolve_executor(config.executor)
+            if executor == EXECUTOR_PROCESS:
+                return self._run_batched_process(params, config, delta_hint)
+            return self._run_batched_thread(params, config, delta_hint, executor)
+        finally:
+            self._busy.release()
 
     def _run_batched_thread(
         self,
@@ -484,12 +533,16 @@ class DetectionSession:
         the exact one-shot draw sequence; only the setup is cached.
         """
         self._ensure_open()
-        params = params or CDRWParameters()
-        self._calls += 1
-        executor = resolve_executor(config.executor)
-        if executor == EXECUTOR_PROCESS:
-            return self._run_parallel_process(params, config, delta_hint)
-        return self._run_parallel_thread(params, config, delta_hint, executor)
+        self._acquire_call_slot()
+        try:
+            params = params or CDRWParameters()
+            self._calls += 1
+            executor = resolve_executor(config.executor)
+            if executor == EXECUTOR_PROCESS:
+                return self._run_parallel_process(params, config, delta_hint)
+            return self._run_parallel_thread(params, config, delta_hint, executor)
+        finally:
+            self._busy.release()
 
     def _run_parallel_thread(
         self,

@@ -38,7 +38,7 @@ def codes_of(path: Path) -> list[str]:
 # Registry basics
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_six_rules_registered_with_stable_codes(self):
+    def test_rules_registered_with_stable_codes(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == sorted(codes)
         assert {
@@ -49,6 +49,7 @@ class TestRegistry:
             "REP105",
             "REP106",
             "REP107",
+            "REP108",
         } <= set(codes)
 
     def test_get_rule_is_case_insensitive(self):
@@ -505,6 +506,90 @@ class TestStorageLayer:
 
 
 # ----------------------------------------------------------------------
+# REP108 — no blocking calls in service coroutines
+# ----------------------------------------------------------------------
+class TestAsyncNoBlocking:
+    def test_flags_time_sleep_and_bare_result_in_coroutine(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/service.py",
+            """
+            import time
+
+            async def detect(self, seed):
+                time.sleep(0.1)
+                future = self.submit(seed)
+                return future.result()
+            """,
+        )
+        assert codes_of(path).count("REP108") == 2
+
+    def test_flags_sync_io_in_coroutine(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/service_net.py",
+            """
+            import socket
+
+            async def handle(self, request):
+                connection = socket.create_connection(("localhost", 80))
+                with open("/tmp/log") as handle:
+                    handle.read()
+                return connection.recv(1)
+            """,
+        )
+        assert codes_of(path).count("REP108") == 3
+
+    def test_result_with_timeout_and_async_idiom_are_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/service.py",
+            """
+            import asyncio
+
+            async def detect(self, seed):
+                await asyncio.sleep(0)
+                return await asyncio.wrap_future(self.submit(seed))
+
+            def blocking_surface(self, seed):
+                # Sync defs may block; the rule only polices coroutines.
+                return self.submit(seed).result(timeout=60)
+            """,
+        )
+        assert "REP108" not in codes_of(path)
+
+    def test_nested_sync_def_inside_coroutine_is_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/service.py",
+            """
+            import time
+
+            async def detect(self, seed):
+                def worker():
+                    time.sleep(0.1)
+                    return self.submit(seed).result()
+                loop = self.loop
+                return await loop.run_in_executor(None, worker)
+            """,
+        )
+        assert "REP108" not in codes_of(path)
+
+    def test_other_modules_are_out_of_scope(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/experiments/runner.py",
+            """
+            import time
+
+            async def sweep(self):
+                time.sleep(0.1)
+            """,
+        )
+        assert "REP108" not in codes_of(path)
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -678,6 +763,7 @@ class TestCommandLine:
             "REP105",
             "REP106",
             "REP107",
+            "REP108",
         ):
             assert code in out
 

@@ -1,0 +1,184 @@
+"""Tests for the JSON-lines wire protocol (:mod:`repro.service_net`).
+
+The contract: a detection requested over the socket returns the same
+report — payload bit-identical after the exact JSON round trip — as the
+in-process service, and every typed service error crosses the wire as
+the same exception class the in-process surface raises.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import threading
+
+import pytest
+
+from repro.api import RunConfig, detect
+from repro.exceptions import (
+    AlgorithmError,
+    BackendError,
+    DeadlineExpiredError,
+    ServiceError,
+)
+from repro.graphs import planted_partition_graph, ppm_expected_conductance
+from repro.service import DetectionService
+from repro.service_net import BackgroundServer, ServiceClient
+
+PAYLOAD_KEYS = ("backend", "detection", "phase_costs", "total_cost", "artifacts", "params")
+
+
+def payload(report) -> dict:
+    data = report.to_dict()
+    return {key: data[key] for key in PAYLOAD_KEYS}
+
+
+@pytest.fixture(scope="module")
+def ppm():
+    n = 256
+    p = 3 * math.log(n) ** 2 / n
+    q = 1.0 / n
+    instance = planted_partition_graph(n, 2, p, q, seed=7)
+    delta = ppm_expected_conductance(n, 2, p, q)
+    return instance, delta
+
+
+@pytest.fixture()
+def served(ppm):
+    """A running service + server; yields (config, delta, host, port, service)."""
+    instance, delta = ppm
+    config = RunConfig(workers=2)
+    with DetectionService(
+        instance.graph, config=config, delta_hint=delta
+    ) as service:
+        with BackgroundServer(service) as server:
+            yield instance, delta, config, server.host, server.port, service
+
+
+class TestWireDetect:
+    def test_detect_over_wire_identical_to_facade(self, served):
+        instance, delta, config, host, port, _service = served
+        with ServiceClient(host, port) as client:
+            reply = client.detect(40)
+        one_shot = detect(
+            instance.graph,
+            "batched",
+            config=config.with_overrides(seeds=(40,)),
+            delta_hint=delta,
+        )
+        assert payload(reply) == payload(one_shot)
+        assert reply.metadata["service_wave_size"] == 1
+
+    def test_concurrent_connections_coalesce(self, served):
+        instance, delta, config, host, port, service = served
+        seeds = (0, 40, 77, 130, 171, 200)
+        replies = {}
+        lock = threading.Lock()
+        barrier = threading.Barrier(len(seeds))
+
+        def wire_client(vertex):
+            with ServiceClient(host, port) as client:
+                barrier.wait()
+                report = client.detect(vertex)
+            with lock:
+                replies[vertex] = report
+
+        threads = [
+            threading.Thread(target=wire_client, args=(s,)) for s in seeds
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for vertex in seeds:
+            one_shot = detect(
+                instance.graph,
+                "batched",
+                config=config.with_overrides(seeds=(vertex,)),
+                delta_hint=delta,
+            )
+            assert payload(replies[vertex]) == payload(one_shot)
+        metrics = service.metrics()
+        assert metrics["requests_served"] >= len(seeds)
+        assert metrics["waves"] <= metrics["requests_served"]
+
+    def test_ping_and_metrics_ops(self, served):
+        *_rest, host, port, _service = served
+        with ServiceClient(host, port) as client:
+            assert client.ping()
+            client.detect(0)
+            metrics = client.metrics()
+        assert metrics["requests_served"] >= 1
+        assert "wave_sizes" in metrics
+        assert "coalescing_ratio" in metrics
+
+
+class TestWireErrors:
+    def test_out_of_range_seed_raises_algorithm_error(self, served):
+        instance, *_rest = served
+        *_ignored, host, port, _service = served
+        with ServiceClient(host, port) as client:
+            with pytest.raises(AlgorithmError, match="is not a vertex of"):
+                client.detect(instance.graph.num_vertices)
+
+    def test_deadline_expiry_crosses_the_wire(self, ppm):
+        instance, delta = ppm
+        with DetectionService(
+            instance.graph, config=RunConfig(workers=1), delta_hint=delta, start=False
+        ) as service:
+            with BackgroundServer(service) as server:
+                # Start the dispatcher only after the request is queued, so
+                # the deadline has provably expired at wave formation.
+                starter = threading.Timer(0.2, service.start)
+                starter.start()
+                try:
+                    with ServiceClient(server.host, server.port) as client:
+                        with pytest.raises(DeadlineExpiredError):
+                            client.detect(0, deadline=0.0)
+                finally:
+                    starter.cancel()
+
+    def test_malformed_json_line_gets_bad_request(self, served):
+        *_rest, host, port, _service = served
+        with socket.create_connection((host, port), timeout=30) as raw:
+            raw.sendall(b"this is not json\n")
+            line = raw.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert response["kind"] == "bad-request"
+
+    def test_unknown_op_and_missing_seed(self, served):
+        *_rest, host, port, _service = served
+        with socket.create_connection((host, port), timeout=30) as raw:
+            reader = raw.makefile("rb")
+            raw.sendall(b'{"op": "explode", "id": 1}\n')
+            response = json.loads(reader.readline())
+            assert response["ok"] is False and response["kind"] == "bad-request"
+            assert response["id"] == 1
+            raw.sendall(b'{"op": "detect", "seed": "zero", "id": 2}\n')
+            response = json.loads(reader.readline())
+            assert response["ok"] is False and response["kind"] == "bad-request"
+            assert "integer 'seed'" in response["error"]
+
+    def test_client_raises_service_error_when_server_goes_away(self, ppm):
+        instance, delta = ppm
+        with DetectionService(
+            instance.graph, config=RunConfig(workers=1), delta_hint=delta
+        ) as service:
+            server = BackgroundServer(service)
+            host, port = server.start()
+            client = ServiceClient(host, port)
+            assert client.ping()
+            server.stop()
+            with pytest.raises((ServiceError, OSError)):
+                client.detect(0)
+            client.close()
+
+    def test_bad_request_maps_to_backend_error(self, served):
+        *_rest, host, port, _service = served
+        with ServiceClient(host, port) as client:
+            # A JSON boolean is not an acceptable wire seed, and the
+            # "bad-request" kind must surface client-side as BackendError.
+            with pytest.raises(BackendError, match="integer 'seed'"):
+                client._roundtrip({"op": "detect", "seed": True})

@@ -383,3 +383,122 @@ class TestCaptureHistoryFastPath:
             full.detection.communities, slim.detection.communities
         ):
             assert without.community == with_history.community
+
+
+# ----------------------------------------------------------------------
+# One-call-at-a-time contract (PR 9)
+# ----------------------------------------------------------------------
+class TestSessionBusyGuard:
+    def test_concurrent_call_raises_session_busy(self, ppm, monkeypatch):
+        # Deterministic race: thread A's call is held inside the guarded
+        # region (its δ resolution blocks on an event), so the main
+        # thread's second call must hit the busy guard — and releasing A
+        # must still produce the exact one-shot payload.
+        import threading
+
+        from repro.exceptions import SessionBusyError
+
+        instance, delta = ppm
+        config = RunConfig(workers=1, executor="thread")
+        session = DetectionSession(instance.graph, config=config, delta_hint=delta)
+        entered = threading.Event()
+        release = threading.Event()
+        original = session._resolve_delta
+
+        def slow_resolve(params, hint):
+            entered.set()
+            assert release.wait(timeout=30)
+            return original(params, hint)
+
+        monkeypatch.setattr(session, "_resolve_delta", slow_resolve)
+        outcome = {}
+
+        def first_caller():
+            outcome["report"] = session.detect(seeds=(0,))
+
+        thread = threading.Thread(target=first_caller)
+        thread.start()
+        try:
+            assert entered.wait(timeout=30)
+            with pytest.raises(SessionBusyError, match="one call at a time"):
+                session.detect(seeds=(40,))
+        finally:
+            release.set()
+            thread.join(timeout=60)
+        one_shot = detect(
+            instance.graph,
+            "batched",
+            config=config.with_overrides(seeds=(0,)),
+            delta_hint=delta,
+        )
+        assert payload(outcome["report"]) == payload(one_shot)
+        # The guard releases: the session serves again.
+        session.detect(seeds=(40,))
+        session.close()
+
+    def test_parallel_backend_guarded_too(self, ppm, monkeypatch):
+        import threading
+
+        from repro.exceptions import SessionBusyError
+
+        instance, delta = ppm
+        session = DetectionSession(
+            instance.graph, config=RunConfig(workers=1, executor="thread")
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        original = session._resolve_delta
+
+        def slow_resolve(params, hint):
+            entered.set()
+            assert release.wait(timeout=30)
+            return original(params, hint)
+
+        monkeypatch.setattr(session, "_resolve_delta", slow_resolve)
+        thread = threading.Thread(
+            target=lambda: session.detect(backend="parallel", num_communities=2)
+        )
+        thread.start()
+        try:
+            assert entered.wait(timeout=30)
+            with pytest.raises(SessionBusyError):
+                session.detect(backend="parallel", num_communities=2)
+        finally:
+            release.set()
+            thread.join(timeout=60)
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# detect_batch request validation (PR 9)
+# ----------------------------------------------------------------------
+class TestDetectBatchValidation:
+    def test_empty_seed_iterable_rejected(self, ppm):
+        instance, delta = ppm
+        with DetectionSession(instance.graph, delta_hint=delta) as session:
+            with pytest.raises(BackendError, match="empty seed iterable"):
+                session.detect_batch(())
+            assert session.calls == 0
+
+    def test_duplicate_seeds_rejected_with_the_duplicates_named(self, ppm):
+        instance, delta = ppm
+        with DetectionSession(instance.graph, delta_hint=delta) as session:
+            with pytest.raises(
+                BackendError, match=r"duplicated seed vertices: \[7, 40\]"
+            ):
+                session.detect_batch((40, 7, 3, 40, 7, 40))
+            assert session.calls == 0
+
+    def test_out_of_range_seed_rejected_before_pool_work(self, ppm):
+        from repro.exceptions import AlgorithmError
+
+        instance, delta = ppm
+        config = RunConfig(workers=2, executor="process")
+        with DetectionSession(instance.graph, config=config, delta_hint=delta) as session:
+            with pytest.raises(AlgorithmError, match="is not a vertex of"):
+                session.detect_batch((0, instance.graph.num_vertices))
+            with pytest.raises(AlgorithmError, match="is not a vertex of"):
+                session.detect_batch((-1,))
+            # Rejected before any pool work: no broadcast, no call counted.
+            assert session.broadcasts == 0
+            assert session.calls == 0
