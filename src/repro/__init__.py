@@ -129,7 +129,7 @@ from .metrics import average_f_score, score_detection
 from .service import DetectionService
 from .session import DetectionSession
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -20,7 +20,10 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .diagnostics import Diagnostic, Suppressions
-from .rules import FileContext, Rule, all_rules, rule_table
+from .model import build_project_model
+from .rules import FileContext, ProjectRule, Rule, all_rules, rule_ledger
+
+from . import concurrency as _concurrency  # noqa: F401  (registers REP2xx)
 
 __all__ = ["LintResult", "lint_file", "lint_paths", "main"]
 
@@ -66,24 +69,25 @@ def _iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
             yield path
 
 
-def lint_file(
-    path: str | Path, rules: Sequence[Rule] | None = None
-) -> list[Diagnostic]:
-    """Lint one file and return its (unsuppressed) diagnostics, sorted."""
-    path = Path(path)
+def _parse_context(
+    path: Path,
+) -> tuple[FileContext | None, Suppressions | None, Diagnostic | None]:
+    """Parse one file into its rule context, or a ``REP000`` diagnostic."""
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
-        return [
+        return (
+            None,
+            None,
             Diagnostic(
                 path=str(path),
                 line=error.lineno or 1,
                 column=error.offset or 1,
                 code=SYNTAX_ERROR_CODE,
                 message=f"syntax error: {error.msg}",
-            )
-        ]
+            ),
+        )
     parts = tuple(part for part in path.parts if part not in (".", ""))
     context = FileContext(
         path=str(path),
@@ -92,14 +96,71 @@ def lint_file(
         source=source,
         is_test=_is_test_file(parts),
     )
-    suppressions = Suppressions.from_source(source)
+    return context, Suppressions.from_source(source), None
+
+
+def _run_project_rules(
+    rules: Sequence[ProjectRule],
+    scoped: Sequence[tuple[FileContext, Suppressions]],
+) -> list[Diagnostic]:
+    """Build one model over the in-scope files, run every project rule.
+
+    A project rule's diagnostics may land in any modeled file (a lock-order
+    cycle has edges in several); each is filtered through the suppression
+    directives of the file it points at.
+    """
+    if not rules or not scoped:
+        return []
+    model = build_project_model([context for context, _ in scoped])
+    suppressions_by_path = {context.path: supp for context, supp in scoped}
     diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        for diagnostic in rule.check_project(model):
+            suppressions = suppressions_by_path.get(diagnostic.path)
+            if suppressions is None or not suppressions.is_suppressed(
+                diagnostic.line, diagnostic.code
+            ):
+                diagnostics.append(diagnostic)
+    return diagnostics
+
+
+def _split_rules(
+    rules: Sequence[Rule] | None,
+) -> tuple[list[Rule], list[ProjectRule]]:
+    file_rules: list[Rule] = []
+    project_rules: list[ProjectRule] = []
     for rule in rules if rules is not None else all_rules():
+        if isinstance(rule, ProjectRule):
+            project_rules.append(rule)
+        else:
+            file_rules.append(rule)
+    return file_rules, project_rules
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> list[Diagnostic]:
+    """Lint one file and return its (unsuppressed) diagnostics, sorted.
+
+    Project (REP2xx) rules run over a model built from this single file —
+    enough for self-contained fixtures; cross-file edges need
+    :func:`lint_paths`.
+    """
+    path = Path(path)
+    context, suppressions, parse_error = _parse_context(path)
+    if parse_error is not None:
+        return [parse_error]
+    assert context is not None and suppressions is not None
+    file_rules, project_rules = _split_rules(rules)
+    diagnostics: list[Diagnostic] = []
+    for rule in file_rules:
         if not rule.applies_to(context):
             continue
         for diagnostic in rule.check(context):
             if not suppressions.is_suppressed(diagnostic.line, diagnostic.code):
                 diagnostics.append(diagnostic)
+    applicable = [rule for rule in project_rules if rule.applies_to(context)]
+    diagnostics.extend(_run_project_rules(applicable, [(context, suppressions)]))
     return sorted(diagnostics)
 
 
@@ -108,18 +169,39 @@ def lint_paths(
 ) -> LintResult:
     """Lint every ``*.py`` file under ``paths`` and return the result.
 
-    Diagnostics come back sorted by (path, line, column, code), so output is
-    stable across runs and filesystems.
+    Per-file rules run file by file; the project (REP2xx) rules then run
+    once over a model spanning every in-scope file of the run, so
+    cross-file properties (lock-order cycles through call edges, requires
+    contracts across modules) are visible.  Diagnostics come back sorted by
+    (path, line, column, code), so output is stable across runs and
+    filesystems.
     """
+    file_rules, project_rules = _split_rules(rules)
     result = LintResult()
     seen: set[Path] = set()
+    scoped: list[tuple[FileContext, Suppressions]] = []
     for path in _iter_python_files(paths):
         resolved = path.resolve()
         if resolved in seen:
             continue
         seen.add(resolved)
         result.files_checked += 1
-        result.diagnostics.extend(lint_file(path, rules))
+        context, suppressions, parse_error = _parse_context(path)
+        if parse_error is not None:
+            result.diagnostics.append(parse_error)
+            continue
+        assert context is not None and suppressions is not None
+        for rule in file_rules:
+            if not rule.applies_to(context):
+                continue
+            for diagnostic in rule.check(context):
+                if not suppressions.is_suppressed(
+                    diagnostic.line, diagnostic.code
+                ):
+                    result.diagnostics.append(diagnostic)
+        if any(rule.applies_to(context) for rule in project_rules):
+            scoped.append((context, suppressions))
+    result.diagnostics.extend(_run_project_rules(project_rules, scoped))
     result.diagnostics.sort()
     return result
 
@@ -153,8 +235,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.list_rules:
         print(f"{'code':<8} {'name':<26} summary")
-        for code, name, summary in rule_table():
+        for code, name, summary, history in rule_ledger():
             print(f"{code:<8} {name:<26} {summary}")
+            if history:
+                print(f"{'':8} {'':26} history: {history}")
         return 0
 
     missing = [path for path in arguments.paths if not Path(path).exists()]

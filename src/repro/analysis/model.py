@@ -1,0 +1,979 @@
+"""The whole-project model pass behind the REP2xx concurrency rules.
+
+The REP10x rules (:mod:`repro.analysis.rules`) are single-node pattern
+checks: each looks at one AST node and needs nothing else.  Races are not
+like that — whether ``self._queue.popleft()`` is safe depends on which lock
+the *writer* held three methods away, and whether a ``Condition.wait`` can
+hang depends on who calls ``notify`` from which thread.  Those are
+properties of flows across functions, so before any REP2xx rule can run,
+this module walks every in-scope file **once** and extracts a
+:class:`ProjectModel`:
+
+* per class — the ``self._x`` fields, which of them are locks
+  (``threading.Lock`` / ``RLock`` / ``Condition``, with
+  ``Condition(self._lock)`` aliased onto its base lock), which attributes
+  are *declared* guarded, and which other modeled classes its attributes
+  hold (for cross-class call edges);
+* per function/method — every attribute and module-global access with the
+  set of locks held at that point (``with self._lock:`` regions, plus
+  direct ``lock.acquire()`` … ``lock.release()`` spans), every lock
+  acquisition with the locks already held (the lock-order edges), every
+  ``self.method()`` / resolvable cross-class / module-function call site,
+  every thread hand-off (``Thread(target=...)``, ``executor.submit(...)``),
+  and every ``Condition`` wait/notify with its loop context;
+* two source annotations close the gap static inference cannot cross::
+
+      self._closed = False      # repro: guarded-by(_lock)
+      def _metrics_locked(self):  # repro: requires(_lock)
+
+  ``guarded-by(<lock>)`` declares the attribute (or module global) as
+  protected by the named lock even where inference would miss it;
+  ``requires(<lock>)`` declares a helper as running with the lock already
+  held (the checking pass then verifies every *call site* actually holds
+  it).  Annotations are ordinary comments, found with :mod:`tokenize` like
+  the ``# repro-lint:`` suppressions, so a string literal can never be
+  mistaken for one.
+
+Approximations, stated once: accesses inside nested functions / lambdas /
+nested classes are recorded with ``deferred=True`` (they run whenever the
+closure runs, so no held-lock set is trustworthy there) and the checking
+rules skip them; a ``lock.acquire()`` inside a statement (e.g. an ``if not
+lock.acquire(False): raise`` guard) marks the lock held for the *following*
+statements of the same block, which over-approximates the failure branch —
+in the guarded direction (missed reports, never false ones) because the
+failure branch raises before touching shared state in the supported
+pattern.  ``self`` aliases are tracked through plain and walrus
+assignments (``s = self`` / ``(s := self)._x``), so aliased accesses are
+modeled, not lost.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from .rules import FileContext
+
+__all__ = [
+    "Access",
+    "Acquisition",
+    "CallSite",
+    "ClassModel",
+    "ConditionOp",
+    "FunctionModel",
+    "FutureCreation",
+    "ModuleModel",
+    "ProjectModel",
+    "ThreadSpawn",
+    "build_project_model",
+    "model_from_source",
+]
+
+#: One ``# repro: guarded-by(_lock)`` / ``# repro: requires(_lock)`` comment.
+_ANNOTATION_RE = re.compile(
+    r"repro:\s*(?P<kind>guarded-by|requires)\s*\(\s*(?P<lock>[A-Za-z_]\w*)\s*\)"
+)
+
+#: Constructors that make an attribute (or module global) a modeled lock.
+_LOCK_KINDS = {"Lock": "lock", "RLock": "rlock", "Condition": "condition"}
+
+#: Condition-variable operations the CV-discipline rule cares about.
+_CV_OPS = frozenset({"wait", "wait_for", "notify", "notify_all"})
+
+#: Constructor names that create a bare, caller-owned future.
+_FUTURE_NAMES = frozenset({"Future"})
+
+
+# ----------------------------------------------------------------------
+# Model records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Access:
+    """One read or write of a ``self`` attribute or module global."""
+
+    name: str  #: canonical name — ``"self._x"`` or a bare module-global name
+    kind: str  #: ``"read"`` or ``"write"``
+    line: int
+    column: int
+    held: frozenset[str]  #: canonical lock names held at this point
+    deferred: bool = False  #: inside a nested function/lambda/class body
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One lock acquisition (a ``with`` region entry or a direct ``acquire``)."""
+
+    lock: str  #: canonical lock name
+    line: int
+    column: int
+    held_before: frozenset[str]  #: locks already held — the lock-order edges
+    blocking: bool = True  #: False for ``acquire(blocking=False)`` trylocks
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolvable call: ``self.m()``, ``self._attr.m()`` or a module ``f()``."""
+
+    target: str  #: callee name within its owner
+    target_class: str | None  #: owning class name, or ``None`` for module functions
+    line: int
+    column: int
+    held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """A callable handed to another thread: ``Thread(target=...)`` / ``.submit(...)``."""
+
+    target: str  #: method/function name, or ``"<expr>"`` when unresolvable
+    target_class: str | None
+    line: int
+    column: int
+    via: str  #: ``"thread"`` or ``"submit"``
+
+
+@dataclass(frozen=True)
+class ConditionOp:
+    """One ``Condition`` wait/notify call with its locking and loop context."""
+
+    condition: str  #: the condition field's canonical name
+    lock: str  #: the canonical lock the condition synchronizes on
+    op: str  #: ``wait`` / ``wait_for`` / ``notify`` / ``notify_all``
+    line: int
+    column: int
+    held: frozenset[str]
+    in_loop: bool  #: lexically inside a ``while`` loop of the same function
+
+
+@dataclass(frozen=True)
+class FutureCreation:
+    """A ``name = Future()`` binding whose resolution this function owns."""
+
+    name: str  #: the local variable bound to the future
+    line: int
+    column: int
+
+
+@dataclass
+class FunctionModel:
+    """Everything the checking pass needs about one function or method."""
+
+    name: str
+    qualname: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    owner: str | None = None  #: class name, or ``None`` for module functions
+    requires: frozenset[str] = frozenset()
+    accesses: list[Access] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    thread_spawns: list[ThreadSpawn] = field(default_factory=list)
+    condition_ops: list[ConditionOp] = field(default_factory=list)
+    future_creations: list[FutureCreation] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    """One class: its locks, declared guards, methods and typed attributes."""
+
+    name: str
+    path: str
+    locks: dict[str, str] = field(default_factory=dict)  #: canonical name -> kind
+    aliases: dict[str, str] = field(default_factory=dict)  #: condition -> base lock
+    declared_guards: dict[str, tuple[str, int]] = field(default_factory=dict)
+    attr_classes: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, FunctionModel] = field(default_factory=dict)
+
+    def canonical(self, name: str) -> str:
+        """Resolve a lock field through the condition-alias table."""
+        return self.aliases.get(name, name)
+
+
+@dataclass
+class ModuleModel:
+    """One source file: module-level locks/globals plus its functions and classes."""
+
+    path: str
+    locks: dict[str, str] = field(default_factory=dict)
+    aliases: dict[str, str] = field(default_factory=dict)
+    declared_guards: dict[str, tuple[str, int]] = field(default_factory=dict)
+    globals_: set[str] = field(default_factory=set)
+    functions: dict[str, FunctionModel] = field(default_factory=dict)
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+
+    def canonical(self, name: str) -> str:
+        return self.aliases.get(name, name)
+
+
+@dataclass
+class ProjectModel:
+    """The merged model of every file the concurrency tier looks at."""
+
+    modules: list[ModuleModel] = field(default_factory=list)
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+
+    def class_named(self, name: str) -> ClassModel | None:
+        return self.classes.get(name)
+
+    def iter_functions(self) -> Iterator[FunctionModel]:
+        """Every function and method of the project, module order."""
+        for module in self.modules:
+            yield from module.functions.values()
+            for class_model in module.classes.values():
+                yield from class_model.methods.values()
+
+
+# ----------------------------------------------------------------------
+# Annotation comments
+# ----------------------------------------------------------------------
+def _collect_annotations(source: str) -> dict[int, list[tuple[str, str]]]:
+    """Map a 1-indexed line to its ``(kind, lock)`` annotation directives."""
+    annotations: dict[int, list[tuple[str, str]]] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            for match in _ANNOTATION_RE.finditer(token.string):
+                annotations.setdefault(token.start[0], []).append(
+                    (match.group("kind"), match.group("lock"))
+                )
+    except tokenize.TokenError:
+        pass
+    return annotations
+
+
+def _guard_on(
+    statement: ast.stmt, annotations: dict[int, list[tuple[str, str]]]
+) -> str | None:
+    """The ``guarded-by(...)`` lock declared on ``statement``, if any.
+
+    The comment may sit on any physical line the statement spans, so
+    assignments wrapped over several lines (long type annotations) still
+    carry their declaration.
+    """
+    end = statement.end_lineno or statement.lineno
+    for line in range(statement.lineno, end + 1):
+        for kind, lock in annotations.get(line, ()):
+            if kind == "guarded-by":
+                return lock
+    return None
+
+
+def _requires_of(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    annotations: dict[int, list[tuple[str, str]]],
+) -> set[str]:
+    """The ``requires(...)`` locks of a function definition.
+
+    The comment may sit anywhere in the signature region (the ``def`` line
+    through the line before the first body statement — multi-line
+    signatures included) or on the line directly above the ``def`` (above
+    the first decorator when decorated).
+    """
+    first = min((d.lineno for d in node.decorator_list), default=node.lineno)
+    lines = set(range(node.lineno, node.body[0].lineno)) | {first - 1}
+    found: set[str] = set()
+    for line in lines:
+        for kind, lock in annotations.get(line, ()):
+            if kind == "requires":
+                found.add(lock)
+    return found
+
+
+# ----------------------------------------------------------------------
+# Expression helpers
+# ----------------------------------------------------------------------
+def _lock_constructor(value: ast.expr) -> tuple[str, ast.expr | None] | None:
+    """Return ``(kind, condition_lock_arg)`` when ``value`` builds a lock."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    kind = _LOCK_KINDS.get(name)
+    if kind is None:
+        return None
+    arg = value.args[0] if (kind == "condition" and value.args) else None
+    return kind, arg
+
+
+def _is_blocking_acquire(call: ast.Call) -> bool:
+    """Whether an ``acquire(...)`` call can block (i.e. is not a trylock)."""
+    for keyword in call.keywords:
+        if keyword.arg == "blocking":
+            return not (
+                isinstance(keyword.value, ast.Constant) and not keyword.value.value
+            )
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and not first.value:
+            return False
+    return True
+
+
+def _is_future_constructor(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id in _FUTURE_NAMES
+    return isinstance(func, ast.Attribute) and func.attr in _FUTURE_NAMES
+
+
+def _class_of_value(value: ast.expr, param_classes: dict[str, str]) -> str | None:
+    """Best-effort class name of an assigned value (for attribute typing).
+
+    ``self._session = DetectionSession(...)`` resolves through the
+    constructor name; ``self._session = session`` resolves through the
+    enclosing function's parameter annotations.
+    """
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id[:1].isupper():
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr[:1].isupper():
+            return func.attr
+    if isinstance(value, ast.Name):
+        return param_classes.get(value.id)
+    return None
+
+
+def _annotation_class_names(annotation: ast.expr) -> Iterator[str]:
+    """Class-looking names inside a parameter annotation (``X | None`` etc.)."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id[:1].isupper():
+            yield node.id
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations ("DetectionService") under `from __future__
+            # import annotations` style forward references.
+            name = node.value.strip().strip('"')
+            if name[:1].isupper():
+                yield name
+
+
+# ----------------------------------------------------------------------
+# Function extraction
+# ----------------------------------------------------------------------
+class _FunctionExtractor:
+    """Walk one function body, tracking held locks and ``self`` aliases."""
+
+    def __init__(
+        self,
+        function: FunctionModel,
+        class_model: ClassModel | None,
+        module: ModuleModel,
+    ) -> None:
+        self.function = function
+        self.class_model = class_model
+        self.module = module
+        node = function.node
+        self.self_name: str | None = None
+        if class_model is not None and node.args.args:
+            decorators = {
+                d.id for d in node.decorator_list if isinstance(d, ast.Name)
+            }
+            if "staticmethod" not in decorators:
+                self.self_name = node.args.args[0].arg
+        self.self_aliases: set[str] = (
+            {self.self_name} if self.self_name else set()
+        )
+        self.local_names = self._local_names(node)
+        self.global_names = self._declared_globals(node)
+
+    # -- scope tables ---------------------------------------------------
+    @staticmethod
+    def _declared_globals(node: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Global):
+                names.update(child.names)
+        return names
+
+    def _local_names(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        """Names bound somewhere in the function (shadowing module globals)."""
+        names = {arg.arg for arg in node.args.args + node.args.kwonlyargs}
+        names.update(arg.arg for arg in node.args.posonlyargs)
+        if node.args.vararg:
+            names.add(node.args.vararg.arg)
+        if node.args.kwarg:
+            names.add(node.args.kwarg.arg)
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(child.id)
+        return names - self._declared_globals(node)
+
+    # -- lock resolution ------------------------------------------------
+    def _lock_of_expr(self, expr: ast.expr) -> str | None:
+        """Canonical lock name of ``expr`` when it denotes a modeled lock."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self.self_aliases
+            and self.class_model is not None
+            and expr.attr in self.class_model.locks
+        ):
+            return "self." + self.class_model.canonical(expr.attr)
+        if (
+            isinstance(expr, ast.Name)
+            and expr.id in self.module.locks
+            and expr.id not in self.local_names
+        ):
+            return self.module.canonical(expr.id)
+        return None
+
+    def _condition_of_expr(self, expr: ast.expr) -> tuple[str, str] | None:
+        """``(condition_name, canonical_lock)`` when ``expr`` is a condition."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self.self_aliases
+            and self.class_model is not None
+            and self.class_model.locks.get(expr.attr) == "condition"
+        ):
+            return "self." + expr.attr, "self." + self.class_model.canonical(expr.attr)
+        if (
+            isinstance(expr, ast.Name)
+            and self.module.locks.get(expr.id) == "condition"
+            and expr.id not in self.local_names
+        ):
+            return expr.id, self.module.canonical(expr.id)
+        return None
+
+    # -- extraction -----------------------------------------------------
+    def extract(self) -> None:
+        self._walk_block(self.function.node.body, set(), deferred=False, loops=0)
+
+    def _walk_block(
+        self, statements: Sequence[ast.stmt], held: set[str], *, deferred: bool, loops: int
+    ) -> None:
+        held = set(held)
+        for statement in statements:
+            self._visit_statement(statement, held, deferred=deferred, loops=loops)
+            # Direct acquire()/release() calls in this statement change the
+            # held set for the *following* statements of the block.
+            for lock, op, node, blocking in self._lock_calls(statement):
+                if op == "acquire":
+                    self.function.acquisitions.append(
+                        Acquisition(
+                            lock=lock,
+                            line=node.lineno,
+                            column=node.col_offset + 1,
+                            held_before=frozenset(held),
+                            blocking=blocking,
+                        )
+                    )
+                    held.add(lock)
+                else:
+                    held.discard(lock)
+
+    def _lock_calls(
+        self, statement: ast.stmt
+    ) -> list[tuple[str, str, ast.Call, bool]]:
+        calls: list[tuple[str, str, ast.Call, bool]] = []
+        for node in self._own_nodes(statement):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+                lock = self._lock_of_expr(func.value)
+                if lock is not None:
+                    calls.append((lock, func.attr, node, _is_blocking_acquire(node)))
+        return calls
+
+    @staticmethod
+    def _own_nodes(node: ast.AST) -> Iterator[ast.AST]:
+        """Descendants of ``node`` excluding nested function/class bodies."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+            ):
+                continue
+            yield child
+            yield from _FunctionExtractor._own_nodes(child)
+
+    def _visit_statement(
+        self, statement: ast.stmt, held: set[str], *, deferred: bool, loops: int
+    ) -> None:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_block(statement.body, set(), deferred=True, loops=0)
+            return
+        if isinstance(statement, ast.ClassDef):
+            self._walk_block(statement.body, set(), deferred=True, loops=0)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in statement.items:
+                self._visit_expression(item.context_expr, inner, deferred=deferred)
+                lock = self._lock_of_expr(item.context_expr)
+                if lock is not None:
+                    if not deferred:
+                        self.function.acquisitions.append(
+                            Acquisition(
+                                lock=lock,
+                                line=item.context_expr.lineno,
+                                column=item.context_expr.col_offset + 1,
+                                held_before=frozenset(inner),
+                            )
+                        )
+                    inner.add(lock)
+                if item.optional_vars is not None:
+                    self._visit_expression(item.optional_vars, inner, deferred=deferred)
+            self._walk_block(statement.body, inner, deferred=deferred, loops=loops)
+            return
+        if isinstance(statement, ast.Try):
+            self._walk_block(statement.body, held, deferred=deferred, loops=loops)
+            for handler in statement.handlers:
+                self._walk_block(handler.body, held, deferred=deferred, loops=loops)
+            self._walk_block(statement.orelse, held, deferred=deferred, loops=loops)
+            self._walk_block(statement.finalbody, held, deferred=deferred, loops=loops)
+            return
+        if isinstance(statement, (ast.If, ast.While)):
+            self._visit_expression(statement.test, held, deferred=deferred)
+            inner = set(held)
+            for lock, op in self._expression_lock_calls(statement.test):
+                if op == "acquire":
+                    inner.add(lock)
+            body_loops = loops + (1 if isinstance(statement, ast.While) else 0)
+            self._walk_block(statement.body, inner, deferred=deferred, loops=body_loops)
+            self._walk_block(statement.orelse, held, deferred=deferred, loops=loops)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._visit_expression(statement.iter, held, deferred=deferred)
+            self._visit_expression(statement.target, held, deferred=deferred)
+            self._walk_block(statement.body, held, deferred=deferred, loops=loops)
+            self._walk_block(statement.orelse, held, deferred=deferred, loops=loops)
+            return
+        if isinstance(statement, ast.Match):
+            self._visit_expression(statement.subject, held, deferred=deferred)
+            for case in statement.cases:
+                if case.guard is not None:
+                    self._visit_expression(case.guard, held, deferred=deferred)
+                self._walk_block(case.body, held, deferred=deferred, loops=loops)
+            return
+        # Plain statement: record aliases, future creations, then expressions.
+        self._track_aliases(statement)
+        self._track_futures(statement, deferred=deferred)
+        for expression in self._statement_expressions(statement):
+            self._visit_expression(
+                expression, held, deferred=deferred, loops=loops
+            )
+
+    def _expression_lock_calls(self, expr: ast.expr) -> list[tuple[str, str]]:
+        calls: list[tuple[str, str]] = []
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("acquire", "release"):
+                    lock = self._lock_of_expr(node.func.value)
+                    if lock is not None:
+                        calls.append((lock, node.func.attr))
+        return calls
+
+    @staticmethod
+    def _statement_expressions(statement: ast.stmt) -> Iterator[ast.expr]:
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                yield child
+
+    def _track_aliases(self, statement: ast.stmt) -> None:
+        if self.self_name is None:
+            return
+        if isinstance(statement, ast.Assign):
+            value_is_self = (
+                isinstance(statement.value, ast.Name)
+                and statement.value.id in self.self_aliases
+            )
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    if value_is_self:
+                        self.self_aliases.add(target.id)
+                    else:
+                        self.self_aliases.discard(target.id)
+
+    def _track_futures(self, statement: ast.stmt, *, deferred: bool) -> None:
+        if deferred:
+            return
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target, value = statement.targets[0], statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            target, value = statement.target, statement.value
+        if (
+            target is not None
+            and value is not None
+            and isinstance(target, ast.Name)
+            and _is_future_constructor(value)
+        ):
+            self.function.future_creations.append(
+                FutureCreation(
+                    name=target.id, line=statement.lineno, column=statement.col_offset + 1
+                )
+            )
+
+    # -- expressions ----------------------------------------------------
+    def _visit_expression(
+        self, expr: ast.expr, held: set[str], *, deferred: bool, loops: int = 0
+    ) -> None:
+        frozen = frozenset(held)
+        # Walrus aliases ((s := self)) can appear inside any expression —
+        # an if-test, a with-item, a call argument — and bind a name used
+        # by the statements that follow; register them before recording.
+        for node in [expr, *self._own_nodes(expr)]:
+            if (
+                isinstance(node, ast.NamedExpr)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in self.self_aliases
+                and isinstance(node.target, ast.Name)
+            ):
+                self.self_aliases.add(node.target.id)
+        for node in [expr, *self._own_nodes(expr)]:
+            if isinstance(node, ast.Attribute):
+                self._record_attribute(node, frozen, deferred)
+            elif isinstance(node, ast.Name):
+                self._record_global(node, frozen, deferred)
+            elif isinstance(node, ast.Call):
+                self._record_call(node, frozen, deferred, loops)
+            elif isinstance(node, (ast.Lambda,)):
+                self._walk_lambda(node)
+        # Nested defs inside expressions are only lambdas; real nested
+        # functions are statements and handled by _visit_statement.
+
+    def _walk_lambda(self, node: ast.Lambda) -> None:
+        for child in ast.walk(node.body):
+            if isinstance(child, ast.Attribute):
+                self._record_attribute(child, frozenset(), True)
+            elif isinstance(child, ast.Name):
+                self._record_global(child, frozenset(), True)
+
+    def _record_attribute(
+        self, node: ast.Attribute, held: frozenset[str], deferred: bool
+    ) -> None:
+        if not (
+            isinstance(node.value, ast.Name) and node.value.id in self.self_aliases
+        ):
+            return
+        kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+        self.function.accesses.append(
+            Access(
+                name="self." + node.attr,
+                kind=kind,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                held=held,
+                deferred=deferred,
+            )
+        )
+
+    def _record_global(
+        self, node: ast.Name, held: frozenset[str], deferred: bool
+    ) -> None:
+        name = node.id
+        known = name in self.module.globals_ or name in self.module.locks
+        if not known:
+            return
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            if name not in self.global_names:
+                return  # a local shadowing the module global
+            kind = "write"
+        else:
+            if name in self.local_names:
+                return
+            kind = "read"
+        self.function.accesses.append(
+            Access(
+                name=name,
+                kind=kind,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                held=held,
+                deferred=deferred,
+            )
+        )
+
+    def _record_call(
+        self, node: ast.Call, held: frozenset[str], deferred: bool, loops: int
+    ) -> None:
+        func = node.func
+        self._record_thread_spawn(node)
+        self._record_condition_op(node, held, loops)
+        if deferred:
+            return
+        if isinstance(func, ast.Name):
+            if func.id in self.module.functions or func.id in self.module.classes:
+                self.function.calls.append(
+                    CallSite(
+                        target=func.id,
+                        target_class=None,
+                        line=node.lineno,
+                        column=node.col_offset + 1,
+                        held=held,
+                    )
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in self.self_aliases:
+            owner = self.class_model.name if self.class_model else None
+            self.function.calls.append(
+                CallSite(
+                    target=func.attr,
+                    target_class=owner,
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    held=held,
+                )
+            )
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self.self_aliases
+            and self.class_model is not None
+            and base.attr in self.class_model.attr_classes
+        ):
+            self.function.calls.append(
+                CallSite(
+                    target=func.attr,
+                    target_class=self.class_model.attr_classes[base.attr],
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    held=held,
+                )
+            )
+
+    def _spawn_target(self, expr: ast.expr) -> tuple[str, str | None]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self.self_aliases
+        ):
+            return expr.attr, self.class_model.name if self.class_model else None
+        if isinstance(expr, ast.Name):
+            return expr.id, None
+        return "<expr>", None
+
+    def _record_thread_spawn(self, node: ast.Call) -> None:
+        func = node.func
+        func_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if func_name == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target, owner = self._spawn_target(keyword.value)
+                    self.function.thread_spawns.append(
+                        ThreadSpawn(
+                            target=target,
+                            target_class=owner,
+                            line=node.lineno,
+                            column=node.col_offset + 1,
+                            via="thread",
+                        )
+                    )
+        elif func_name == "submit" and node.args:
+            target, owner = self._spawn_target(node.args[0])
+            self.function.thread_spawns.append(
+                ThreadSpawn(
+                    target=target,
+                    target_class=owner,
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    via="submit",
+                )
+            )
+
+    def _record_condition_op(
+        self, node: ast.Call, held: frozenset[str], loops: int
+    ) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _CV_OPS):
+            return
+        condition = self._condition_of_expr(func.value)
+        if condition is None:
+            return
+        name, lock = condition
+        self.function.condition_ops.append(
+            ConditionOp(
+                condition=name,
+                lock=lock,
+                op=func.attr,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                held=held,
+                in_loop=loops > 0,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Module / class extraction
+# ----------------------------------------------------------------------
+def _param_classes(node: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str]:
+    """Parameter name → annotated class name (first class-looking name wins)."""
+    classes: dict[str, str] = {}
+    for arg in node.args.args + node.args.kwonlyargs:
+        if arg.annotation is None:
+            continue
+        for name in _annotation_class_names(arg.annotation):
+            classes[arg.arg] = name
+            break
+    return classes
+
+
+def _scan_class_fields(
+    class_node: ast.ClassDef,
+    class_model: ClassModel,
+    annotations: dict[int, list[tuple[str, str]]],
+) -> None:
+    """First pass over a class: lock fields, declared guards, typed attributes."""
+    for method in class_node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not method.args.args:
+            continue
+        self_name = method.args.args[0].arg
+        params = _param_classes(method)
+        for statement in ast.walk(method):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target, value = statement.targets[0], statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                target, value = statement.target, statement.value
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self_name
+            ):
+                continue
+            attr = target.attr
+            if value is not None:
+                lock = _lock_constructor(value)
+                if lock is not None:
+                    kind, condition_arg = lock
+                    class_model.locks[attr] = kind
+                    if (
+                        condition_arg is not None
+                        and isinstance(condition_arg, ast.Attribute)
+                        and isinstance(condition_arg.value, ast.Name)
+                        and condition_arg.value.id == self_name
+                    ):
+                        class_model.aliases[attr] = condition_arg.attr
+                else:
+                    owner = _class_of_value(value, params)
+                    if owner is not None:
+                        class_model.attr_classes[attr] = owner
+            declared = _guard_on(statement, annotations)
+            if declared is not None:
+                class_model.declared_guards[attr] = (declared, statement.lineno)
+
+
+def _extract_module(tree: ast.Module, path: str, source: str) -> ModuleModel:
+    annotations = _collect_annotations(source)
+    module = ModuleModel(path=path)
+
+    # Pass 1a: module-level names, locks and guards.
+    for statement in tree.body:
+        target = None
+        value = None
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target, value = statement.targets[0], statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            target, value = statement.target, statement.value
+        if isinstance(target, ast.Name):
+            if value is not None:
+                lock = _lock_constructor(value)
+            else:
+                lock = None
+            if lock is not None:
+                kind, condition_arg = lock
+                module.locks[target.id] = kind
+                if condition_arg is not None and isinstance(condition_arg, ast.Name):
+                    module.aliases[target.id] = condition_arg.id
+            else:
+                module.globals_.add(target.id)
+            declared = _guard_on(statement, annotations)
+            if declared is not None:
+                module.declared_guards[target.id] = (declared, statement.lineno)
+
+    # Pass 1b: class skeletons (fields must be known before bodies are walked,
+    # so cross-method lock usage and attribute typing resolve).
+    class_nodes: list[ast.ClassDef] = []
+    for statement in tree.body:
+        if isinstance(statement, ast.ClassDef):
+            class_model = ClassModel(name=statement.name, path=path)
+            _scan_class_fields(statement, class_model, annotations)
+            module.classes[statement.name] = class_model
+            class_nodes.append(statement)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[statement.name] = FunctionModel(
+                name=statement.name,
+                qualname=statement.name,
+                path=path,
+                node=statement,
+                requires=frozenset(_requires_of(statement, annotations)),
+            )
+
+    # Pass 2: function bodies.
+    for function in module.functions.values():
+        _FunctionExtractor(function, None, module).extract()
+    for class_node in class_nodes:
+        class_model = module.classes[class_node.name]
+        for statement in class_node.body:
+            if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            requires = {
+                "self." + class_model.canonical(lock)
+                if lock in class_model.locks or lock in class_model.aliases
+                else lock
+                for lock in _requires_of(statement, annotations)
+            }
+            method = FunctionModel(
+                name=statement.name,
+                qualname=f"{class_model.name}.{statement.name}",
+                path=path,
+                node=statement,
+                owner=class_model.name,
+                requires=frozenset(requires),
+            )
+            class_model.methods[statement.name] = method
+            _FunctionExtractor(method, class_model, module).extract()
+    return module
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def build_project_model(contexts: Iterable["FileContext"]) -> ProjectModel:
+    """Build the project model over the given (already parsed) files.
+
+    Files are processed in the order given; classes are merged into one
+    project-wide table by name (class names are unique across this
+    repository's concurrent packages — the checking pass relies on that for
+    cross-class call edges).
+    """
+    model = ProjectModel()
+    for context in contexts:
+        module = _extract_module(context.tree, context.path, context.source)
+        model.modules.append(module)
+        for name, class_model in module.classes.items():
+            model.classes[name] = class_model
+    return model
+
+
+def model_from_source(source: str, path: str = "<memory>") -> ModuleModel:
+    """Extract one module's model straight from source text (test helper)."""
+    return _extract_module(ast.parse(source), path, source)

@@ -40,12 +40,16 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from .diagnostics import Diagnostic
 
+if TYPE_CHECKING:
+    from .model import ProjectModel
+
 __all__ = [
     "FileContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
@@ -94,6 +98,9 @@ class Rule:
     name: str = ""
     #: One-line summary of the enforced invariant.
     summary: str = ""
+    #: The historical bug class that motivated the rule — one sentence,
+    #: printed by ``repro lint --list-rules`` as the rule's ledger entry.
+    history: str = ""
     #: Directory names scoping the rule (``None`` = every file).  A file is
     #: in scope when any of its parent directories matches an entry.
     packages: tuple[str, ...] | None = None
@@ -122,6 +129,41 @@ class Rule:
             code=self.code,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class of the whole-project (REP2xx) concurrency rules.
+
+    Unlike :class:`Rule`, a project rule does not look at one file at a
+    time: the linter first builds a :class:`~repro.analysis.model.
+    ProjectModel` over every in-scope file of the run, then calls
+    :meth:`check_project` once.  Diagnostics may therefore point at any
+    file of the model (a lock-order cycle names edges in two classes), and
+    the linter routes each one through *its own file's* suppression
+    directives.
+
+    Scope: the concurrent packages only — ``service.py``,
+    ``service_net.py``, ``session.py``, ``execution*.py`` and the storage
+    tier ``storage.py`` — and never test modules.  The per-file
+    :meth:`Rule.check` is intentionally a no-op.
+    """
+
+    include_tests = False
+
+    #: Module basenames (regex) the concurrency tier models and checks.
+    scope_pattern = re.compile(r"^(service|service_net|session|execution\w*|storage)\.py$")
+
+    def applies_to(self, context: FileContext) -> bool:
+        if context.is_test:
+            return False
+        return bool(self.scope_pattern.match(context.parts[-1]))
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        """Yield the diagnostics of this rule over the whole project model."""
+        raise NotImplementedError
 
 
 _registry: dict[str, Rule] = {}
@@ -224,6 +266,11 @@ class RngDisciplineRule(Rule):
         "no `random` module and no legacy `np.random.*` global-state API; "
         "pass a numpy.random.Generator"
     )
+    history = (
+        "global RNG state made runs irreproducible the moment two "
+        "executors interleaved draws; the PR 4 facade made every draw "
+        "flow through an explicit Generator"
+    )
 
     def check(self, context: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(context.tree):
@@ -291,6 +338,10 @@ class ExactLog2Rule(Rule):
         "no float `log2` in congest/kmachine/randomwalk round accounting; "
         "use repro.utils.ceil_log2"
     )
+    history = (
+        "ceil(log2(float(n))) rounded down at 2**k + 1 and undercharged a "
+        "round; the PR 3 cost-accounting sweep replaced every such charge"
+    )
     packages = ("congest", "kmachine", "randomwalk")
     include_tests = False
 
@@ -336,6 +387,10 @@ class SharedMemoryFinalizerRule(Rule):
     summary = (
         "every SharedMemory(create=True) needs a weakref.finalize "
         "registration in the same class"
+    )
+    history = (
+        "the PR 6 segment leak: sessions that never reached close() left "
+        "shared-memory segments allocated until reboot"
     )
     include_tests = False
 
@@ -424,6 +479,10 @@ class RegistryDisciplineRule(Rule):
         "no `_…_impl` imports outside the engine internals and tests; "
         "go through repro.api.detect"
     )
+    history = (
+        "pre-facade callers drifted: bespoke knob handling, missed report "
+        "metadata and RNG-sequence skew the PR 4 registry redesign removed"
+    )
 
     def applies_to(self, context: FileContext) -> bool:
         if context.is_test:
@@ -477,6 +536,10 @@ class ExplicitDtypeRule(Rule):
     code = "REP105"
     name = "explicit-dtype"
     summary = "np.zeros/empty/ones/full in kernel packages must pass dtype="
+    history = (
+        "implicit float64 buffers are a dtype-axis drift waiting to happen; "
+        "pinned when the float32 search fast path landed in PR 3"
+    )
     packages = (
         "randomwalk",
         "core",
@@ -532,6 +595,11 @@ class PicklableTaskRule(Rule):
     code = "REP106"
     name = "picklable-task"
     summary = "callables passed to pool .submit() must be module-level"
+    history = (
+        "lambdas submitted to the process tier fail to pickle only at run "
+        "time on the first submission — exactly how a thread-tier test run "
+        "misses it"
+    )
     include_tests = False
 
     def check(self, context: FileContext) -> Iterator[Diagnostic]:
@@ -607,6 +675,11 @@ class StorageLayerRule(Rule):
     summary = (
         "SharedMemory/np.memmap construction is confined to "
         "graphs/storage.py; use the storage backends"
+    )
+    history = (
+        "the pre-abstraction execution_process.py privately carried every "
+        "shared-memory workaround (bpo-39959 opt-out, zero-length mappings, "
+        "read-only pinning) the PR 8 storage tier centralised"
     )
     include_tests = False
 
@@ -698,6 +771,10 @@ class AsyncNoBlockingRule(Rule):
     summary = (
         "no time.sleep / bare .result() / sync socket or file I/O inside "
         "async def bodies in the service package"
+    )
+    history = (
+        "one blocking call in a PR 9 wire-server coroutine stalls every "
+        "connection on the event loop at once"
     )
     include_tests = False
 
@@ -805,3 +882,25 @@ class AsyncNoBlockingRule(Rule):
 def rule_table() -> Sequence[tuple[str, str, str]]:
     """Return ``(code, name, summary)`` rows for ``repro lint --list-rules``."""
     return [(rule.code, rule.name, rule.summary) for rule in all_rules()]
+
+
+def rule_ledger() -> Sequence[tuple[str, str, str, str]]:
+    """Return ``(code, name, summary, history)`` — the full rule ledger.
+
+    Includes the synthetic ``REP000`` row (syntax errors are reported
+    through the diagnostic channel but are not a registered rule), so the
+    printed ledger covers every code a lint run can emit.
+    """
+    rows: list[tuple[str, str, str, str]] = [
+        (
+            "REP000",
+            "syntax-error",
+            "the file must parse; reported when ast.parse fails",
+            "not a rule: an unparseable file would silently skip every "
+            "other check, so it fails the run through the same channel",
+        )
+    ]
+    rows.extend(
+        (rule.code, rule.name, rule.summary, rule.history) for rule in all_rules()
+    )
+    return rows

@@ -75,8 +75,8 @@ _EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
 _T = TypeVar("_T")
 
 _pool_lock = threading.Lock()
-_pool: ThreadPoolExecutor | None = None
-_pool_width = 0
+_pool: ThreadPoolExecutor | None = None  # repro: guarded-by(_pool_lock)
+_pool_width = 0  # repro: guarded-by(_pool_lock)
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -149,7 +149,7 @@ def block_ranges(count: int, blocks: int) -> list[tuple[int, int]]:
     return ranges
 
 
-def _shared_pool(workers: int) -> ThreadPoolExecutor:
+def _shared_pool(workers: int) -> ThreadPoolExecutor:  # repro: requires(_pool_lock)
     """Return the process-global pool, grown to at least ``workers`` threads.
 
     A request wider than the current pool replaces it; the superseded pool

@@ -160,11 +160,11 @@ class DetectionService:
         self.max_wave = int(max_wave)
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        self._queue: deque[_Admitted] = deque()
-        self._dispatcher: threading.Thread | None = None
-        self._closing = False  # no new admissions
-        self._stop = False  # dispatcher exits once the queue is drained
-        self._closed = False
+        self._queue: deque[_Admitted] = deque()  # repro: guarded-by(_lock)
+        self._dispatcher: threading.Thread | None = None  # repro: guarded-by(_lock)
+        self._closing = False  # repro: guarded-by(_lock) -- no new admissions
+        self._stop = False  # repro: guarded-by(_lock) -- exit once drained
+        self._closed = False  # repro: guarded-by(_lock)
         # Observability counters (all guarded by self._lock).
         self._admitted = 0
         self._served = 0
@@ -192,7 +192,8 @@ class DetectionService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def start(self) -> "DetectionService":
         """Start the dispatcher thread (idempotent)."""
@@ -223,10 +224,6 @@ class DetectionService:
         now = time.monotonic()
         if deadline is not None:
             deadline_at = now + float(deadline)
-        future: "Future[RunReport]" = Future()
-        request = _Admitted(
-            seed=seed_vertex, admitted_at=now, deadline_at=deadline_at, future=future
-        )
         with self._wake:
             if self._closing or self._closed:
                 raise ServiceClosedError(
@@ -238,7 +235,18 @@ class DetectionService:
                     f"admission queue is full ({self.max_pending} requests "
                     f"pending); retry with backoff"
                 )
-            self._queue.append(request)
+            # The reply future is only constructed once admission is
+            # certain: a rejection path must never strand a pending future
+            # (REP204 — a caller holding one would wait forever).
+            future: "Future[RunReport]" = Future()
+            self._queue.append(
+                _Admitted(
+                    seed=seed_vertex,
+                    admitted_at=now,
+                    deadline_at=deadline_at,
+                    future=future,
+                )
+            )
             self._admitted += 1
             self._wake.notify()
         return future
@@ -292,7 +300,8 @@ class DetectionService:
                 )
         if dispatcher is not None:
             dispatcher.join()
-        self._closed = True
+        with self._wake:
+            self._closed = True
         if self._owns_session:
             self._session.close()
 
@@ -303,12 +312,13 @@ class DetectionService:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "closed" if self._closed else "open"
         with self._lock:
+            state = "closed" if self._closed else "open"
             pending = len(self._queue)
+            waves = self._waves
         return (
             f"DetectionService({self._session.graph!r}, pending={pending}, "
-            f"waves={self._waves}, {state})"
+            f"waves={waves}, {state})"
         )
 
     # ------------------------------------------------------------------
@@ -427,7 +437,7 @@ class DetectionService:
                 replace(single, timings=timings, metadata=metadata)
             )
 
-    def _metrics_locked(self) -> dict[str, object]:
+    def _metrics_locked(self) -> dict[str, object]:  # repro: requires(_lock)
         served = self._served
         waves = self._waves
         return {

@@ -113,39 +113,52 @@ class DetectionSession:
         self.config = config or RunConfig()
         self.params = params
         self.delta_hint = delta_hint
-        self._closed = False
         # One-call-at-a-time contract: held for the duration of every
         # backend run; a concurrent caller gets SessionBusyError, never a
         # silent race on the caches below.
         self._busy = threading.Lock()
+        # Cheap observable state lives under its own lock so ``closed`` /
+        # ``calls`` / ``broadcasts`` never block behind an in-flight call
+        # (the facade reads ``closed`` before dispatching; blocking there
+        # would turn SessionBusyError into silent serialization).  Order
+        # when nested: _busy, then _state_lock.
+        self._state_lock = threading.Lock()
+        self._closed = False  # repro: guarded-by(_state_lock)
         # Derived-state caches (thread tier; δ serves both tiers).
-        self._operators: dict[bool, sp.csr_matrix] = {}
-        self._searches: dict[tuple[object, ...], BatchedMixingSetSearch] = {}
-        self._deltas: dict[tuple[CDRWParameters, float | None], float] = {}
-        self._stationary: np.ndarray | None = None
+        self._operators: dict[bool, sp.csr_matrix] = {}  # repro: guarded-by(_busy)
+        self._searches: dict[
+            tuple[object, ...], BatchedMixingSetSearch
+        ] = {}  # repro: guarded-by(_busy)
+        self._deltas: dict[
+            tuple[CDRWParameters, float | None], float
+        ] = {}  # repro: guarded-by(_busy)
+        self._stationary: np.ndarray | None = None  # repro: guarded-by(_busy)
         # Process-tier residents.
-        self._shared: SharedGraph | None = None
-        self._pool: ProcessGraphPool | None = None
+        self._shared: SharedGraph | None = None  # repro: guarded-by(_busy)
+        self._pool: ProcessGraphPool | None = None  # repro: guarded-by(_busy)
         # Observability counters surfaced through report metadata.
-        self._calls = 0
-        self._broadcasts = 0
+        self._calls = 0  # repro: guarded-by(_state_lock)
+        self._broadcasts = 0  # repro: guarded-by(_state_lock)
 
     # ------------------------------------------------------------------
     # Public surface
     # ------------------------------------------------------------------
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._state_lock:
+            return self._closed
 
     @property
     def calls(self) -> int:
         """Number of detection calls served so far."""
-        return self._calls
+        with self._state_lock:
+            return self._calls
 
     @property
     def broadcasts(self) -> int:
         """Number of shared-memory graph broadcasts performed (0 or 1)."""
-        return self._broadcasts
+        with self._state_lock:
+            return self._broadcasts
 
     def detect(
         self,
@@ -222,28 +235,40 @@ class DetectionSession:
 
     @property
     def stationary_distribution(self) -> np.ndarray:
-        """The graph's stationary distribution ``d(u) / 2|E|``, computed once."""
-        if self._stationary is None:
-            from .randomwalk.stationary import stationary_distribution
+        """The graph's stationary distribution ``d(u) / 2|E|``, computed once.
 
-            self._stationary = stationary_distribution(self.graph)
-        return self._stationary
+        Takes the call slot (blocking): the cached array lives with the
+        other ``_busy``-guarded derived state, and the computation is cheap
+        enough that waiting out an in-flight call beats racing its caches.
+        """
+        with self._busy:
+            if self._stationary is None:
+                from .randomwalk.stationary import stationary_distribution
+
+                self._stationary = stationary_distribution(self.graph)
+            return self._stationary
 
     def close(self) -> None:
-        """Release the worker pool, the broadcast segments and every cache."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._pool is not None:
-            self._pool.close()  # executor only: the session owns the broadcast
-            self._pool = None
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
-        self._operators.clear()
-        self._searches.clear()
-        self._deltas.clear()
-        self._stationary = None
+        """Release the worker pool, the broadcast segments and every cache.
+
+        Waits out an in-flight call (blocking acquire of the call slot), so
+        teardown can never race a backend run's cache accesses.
+        """
+        with self._busy:
+            with self._state_lock:
+                if self._closed:
+                    return
+                self._closed = True
+            if self._pool is not None:
+                self._pool.close()  # executor only: the session owns the broadcast
+                self._pool = None
+            if self._shared is not None:
+                self._shared.close()
+                self._shared = None
+            self._operators.clear()
+            self._searches.clear()
+            self._deltas.clear()
+            self._stationary = None
 
     def __enter__(self) -> "DetectionSession":
         return self
@@ -252,16 +277,19 @@ class DetectionSession:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "closed" if self._closed else "open"
+        with self._state_lock:
+            state = "closed" if self._closed else "open"
+            calls = self._calls
+            broadcasts = self._broadcasts
         return (
-            f"DetectionSession({self.graph!r}, calls={self._calls}, "
-            f"broadcasts={self._broadcasts}, {state})"
+            f"DetectionSession({self.graph!r}, calls={calls}, "
+            f"broadcasts={broadcasts}, {state})"
         )
 
     # ------------------------------------------------------------------
     # Derived-state caches
     # ------------------------------------------------------------------
-    def _walk_operator(self, lazy: bool) -> tuple[sp.csr_matrix, bool]:
+    def _walk_operator(self, lazy: bool) -> tuple[sp.csr_matrix, bool]:  # repro: requires(_busy)
         """The batched walk's transition operator for ``lazy``, cached.
 
         Construction is a deterministic function of the graph, so the cached
@@ -283,7 +311,7 @@ class DetectionSession:
         self._operators[lazy] = operator
         return operator, False
 
-    def _search(
+    def _search(  # repro: requires(_busy)
         self, params: CDRWParameters, workers: int | None, dtype: str | np.dtype
     ) -> tuple[BatchedMixingSetSearch, bool]:
         """The batched mixing-set search for these knobs, cached.
@@ -305,7 +333,7 @@ class DetectionSession:
         self._searches[key] = search
         return search, False
 
-    def _resolve_delta(
+    def _resolve_delta(  # repro: requires(_busy)
         self, params: CDRWParameters, delta_hint: float | None
     ) -> tuple[float, bool]:
         """δ for these knobs, resolved once per ``(params, hint)``.
@@ -327,7 +355,7 @@ class DetectionSession:
     # ------------------------------------------------------------------
     # Process-tier residents
     # ------------------------------------------------------------------
-    def _ensure_pool(self, workers: int | None) -> tuple[ProcessGraphPool, bool]:
+    def _ensure_pool(self, workers: int | None) -> tuple[ProcessGraphPool, bool]:  # repro: requires(_busy)
         """The persistent worker pool, broadcasting the graph at most once.
 
         A worker-count change rebuilds only the executor; the shared-memory
@@ -338,7 +366,8 @@ class DetectionSession:
 
         if self._shared is None:
             self._shared = SharedGraph(self.graph)
-            self._broadcasts += 1
+            with self._state_lock:
+                self._broadcasts += 1
         resolved = resolve_workers(workers)
         if self._pool is not None and self._pool.workers == resolved:
             return self._pool, True
@@ -351,25 +380,27 @@ class DetectionSession:
     # Backend entry points (called by the api runners when session= is set)
     # ------------------------------------------------------------------
     def _session_extras(self, **flags: object) -> dict[str, object]:
-        extras: dict[str, object] = {
-            "session_calls": self._calls,
-            "session_broadcasts": self._broadcasts,
-        }
+        with self._state_lock:
+            extras: dict[str, object] = {
+                "session_calls": self._calls,
+                "session_broadcasts": self._broadcasts,
+            }
         extras.update(flags)
         return extras
 
     def _ensure_open(self) -> None:
-        if self._closed:
+        with self._state_lock:
+            closed = self._closed
+        if closed:
             raise BackendError("the detection session is closed")
 
-    def _acquire_call_slot(self) -> None:
-        if not self._busy.acquire(blocking=False):
-            raise SessionBusyError(
-                "DetectionSession serves one call at a time: another detect() "
-                "is already in flight on this session. Serialize callers, or "
-                "put a repro.service.DetectionService in front to coalesce "
-                "concurrent requests into waves."
-            )
+    #: SessionBusyError text shared by both backend entry points.
+    _BUSY_MESSAGE = (
+        "DetectionSession serves one call at a time: another detect() "
+        "is already in flight on this session. Serialize callers, or "
+        "put a repro.service.DetectionService in front to coalesce "
+        "concurrent requests into waves."
+    )
 
     def _run_batched(
         self,
@@ -384,11 +415,13 @@ class DetectionSession:
         the per-call setup replaced by cache lookups, so the computed
         payload is bit-identical to the one-shot facade.
         """
-        self._ensure_open()
-        self._acquire_call_slot()
+        if not self._busy.acquire(blocking=False):
+            raise SessionBusyError(self._BUSY_MESSAGE)
         try:
+            self._ensure_open()
             params = params or CDRWParameters()
-            self._calls += 1
+            with self._state_lock:
+                self._calls += 1
             executor = resolve_executor(config.executor)
             if executor == EXECUTOR_PROCESS:
                 return self._run_batched_process(params, config, delta_hint)
@@ -396,7 +429,7 @@ class DetectionSession:
         finally:
             self._busy.release()
 
-    def _run_batched_thread(
+    def _run_batched_thread(  # repro: requires(_busy)
         self,
         params: CDRWParameters,
         config: RunConfig,
@@ -450,7 +483,7 @@ class DetectionSession:
             detection=detection, extras=extras, artifacts=artifacts, native=finals
         )
 
-    def _run_batched_process(
+    def _run_batched_process(  # repro: requires(_busy)
         self, params: CDRWParameters, config: RunConfig, delta_hint: float | None
     ) -> BackendOutcome:
         from .execution_process import (
@@ -532,11 +565,13 @@ class DetectionSession:
         spreading and conflict resolution stay in the calling process with
         the exact one-shot draw sequence; only the setup is cached.
         """
-        self._ensure_open()
-        self._acquire_call_slot()
+        if not self._busy.acquire(blocking=False):
+            raise SessionBusyError(self._BUSY_MESSAGE)
         try:
+            self._ensure_open()
             params = params or CDRWParameters()
-            self._calls += 1
+            with self._state_lock:
+                self._calls += 1
             executor = resolve_executor(config.executor)
             if executor == EXECUTOR_PROCESS:
                 return self._run_parallel_process(params, config, delta_hint)
@@ -544,7 +579,7 @@ class DetectionSession:
         finally:
             self._busy.release()
 
-    def _run_parallel_thread(
+    def _run_parallel_thread(  # repro: requires(_busy)
         self,
         params: CDRWParameters,
         config: RunConfig,
@@ -583,7 +618,7 @@ class DetectionSession:
         )
         return BackendOutcome(detection=detection, extras=extras)
 
-    def _run_parallel_process(
+    def _run_parallel_process(  # repro: requires(_busy)
         self, params: CDRWParameters, config: RunConfig, delta_hint: float | None
     ) -> BackendOutcome:
         from .core.batched import _detect_community_batch_impl

@@ -463,6 +463,61 @@ class TestShutdown:
 
 
 # ----------------------------------------------------------------------
+# Lock-discipline regressions (PR 10 — found by the REP2xx analyzer)
+# ----------------------------------------------------------------------
+class TestConcurrencyRegressions:
+    def test_submit_close_race_strands_no_future(self, ppm):
+        # submit() used to construct the reply future *before* the
+        # closed/full checks (REP204): a rejection raised past a pending
+        # future nobody could ever resolve.  Race submits against close()
+        # and require a total outcome for every client — a served report
+        # or a synchronous ServiceClosedError, never a forever-pending
+        # future.
+        instance, delta = ppm
+        seeds = (0, 40, 130)
+        for _ in range(3):
+            service = DetectionService(
+                instance.graph,
+                config=RunConfig(workers=1),
+                delta_hint=delta,
+                start=False,
+            )
+            barrier = threading.Barrier(len(seeds) + 1)
+            outcomes = {}
+
+            def client(vertex, service=service, barrier=barrier, outcomes=outcomes):
+                barrier.wait()
+                try:
+                    outcomes[vertex] = service.submit(vertex)
+                except ServiceClosedError:
+                    outcomes[vertex] = None
+
+            threads = [threading.Thread(target=client, args=(v,)) for v in seeds]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            service.close()  # drain=True: whatever won admission is served
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive()
+            assert service.closed
+            for vertex in seeds:
+                future = outcomes[vertex]
+                if future is not None:
+                    report = future.result(timeout=600)
+                    assert report.detection.communities[0].seed == vertex
+
+    def test_closed_property_consistent_under_lock(self, ppm):
+        instance, delta = ppm
+        service = DetectionService(instance.graph, delta_hint=delta, start=False)
+        assert not service.closed
+        repr(service)  # state snapshot reads take the lock, must not hang
+        service.close()
+        assert service.closed
+        assert "closed" in repr(service)
+
+
+# ----------------------------------------------------------------------
 # Wave-report slicing helper
 # ----------------------------------------------------------------------
 class TestSplitBatchedReport:

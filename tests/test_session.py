@@ -470,6 +470,90 @@ class TestSessionBusyGuard:
 
 
 # ----------------------------------------------------------------------
+# Lock-discipline regressions (PR 10 — found by the REP2xx analyzer)
+# ----------------------------------------------------------------------
+class TestConcurrencyRegressions:
+    def test_close_waits_out_inflight_call(self, ppm, monkeypatch):
+        # close() used to tear the caches down without taking the call
+        # slot, racing an in-flight backend run (REP201 on the cache
+        # fields).  It must now block until the call finishes — while the
+        # cheap state reads (``closed``, ``repr``) stay non-blocking so
+        # the facade's pre-dispatch check cannot deadlock behind it.
+        import threading
+
+        instance, delta = ppm
+        config = RunConfig(workers=1, executor="thread")
+        session = DetectionSession(instance.graph, config=config, delta_hint=delta)
+        entered = threading.Event()
+        release = threading.Event()
+        original = session._resolve_delta
+
+        def slow_resolve(params, hint):
+            entered.set()
+            assert release.wait(timeout=30)
+            return original(params, hint)
+
+        monkeypatch.setattr(session, "_resolve_delta", slow_resolve)
+        outcome = {}
+
+        def first_caller():
+            outcome["report"] = session.detect(seeds=(0,))
+
+        caller = threading.Thread(target=first_caller)
+        caller.start()
+        try:
+            assert entered.wait(timeout=30)
+            closer = threading.Thread(target=session.close)
+            closer.start()
+            closer.join(timeout=0.5)
+            # close() is parked behind the in-flight call...
+            assert closer.is_alive()
+            # ...while the state surface answers immediately.
+            assert not session.closed
+            assert "open" in repr(session)
+            assert session.calls == 1
+        finally:
+            release.set()
+            caller.join(timeout=60)
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        assert session.closed
+        # The call that was in flight when close() arrived still completed.
+        assert outcome["report"].detection.communities[0].seed == 0
+
+    def test_observability_never_blocks_behind_a_call(self, ppm, monkeypatch):
+        # ``calls`` / ``broadcasts`` live under their own lock: reading
+        # them mid-call must return promptly, not wait for the run.
+        import threading
+
+        instance, delta = ppm
+        config = RunConfig(workers=1, executor="thread")
+        session = DetectionSession(instance.graph, config=config, delta_hint=delta)
+        entered = threading.Event()
+        release = threading.Event()
+        original = session._resolve_delta
+
+        def slow_resolve(params, hint):
+            entered.set()
+            assert release.wait(timeout=30)
+            return original(params, hint)
+
+        monkeypatch.setattr(session, "_resolve_delta", slow_resolve)
+        thread = threading.Thread(target=lambda: session.detect(seeds=(0,)))
+        thread.start()
+        try:
+            assert entered.wait(timeout=30)
+            # The counter was bumped on admission; reading it cannot hang.
+            assert session.calls == 1
+            assert session.broadcasts == 0
+            assert not session.closed
+        finally:
+            release.set()
+            thread.join(timeout=60)
+        session.close()
+
+
+# ----------------------------------------------------------------------
 # detect_batch request validation (PR 9)
 # ----------------------------------------------------------------------
 class TestDetectBatchValidation:
